@@ -1,0 +1,94 @@
+// Command tspasm is the standalone assembler/disassembler for the
+// reproduction ISA, mirroring the paper's toolchain in which the scheduled
+// program is handed to an assembler that emits a machine-code binary
+// (Fig 12).
+//
+//	tspasm -o prog.bin prog.s        assemble
+//	tspasm -d prog.bin               disassemble to stdout
+//	tspasm -run prog.bin             execute on one simulated chip
+//	tspasm -stats prog.bin           per-unit instruction counts and cycles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/tsp"
+)
+
+func main() {
+	out := flag.String("o", "", "output binary path (assemble mode)")
+	dis := flag.Bool("d", false, "disassemble the input binary")
+	run := flag.Bool("run", false, "execute the input binary on one simulated chip")
+	stats := flag.Bool("stats", false, "print per-unit statistics for the input binary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tspasm [-o out.bin | -d | -run | -stats] <input>")
+		os.Exit(2)
+	}
+	input := flag.Arg(0)
+	data, err := os.ReadFile(input)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *dis, *run, *stats:
+		prog, err := isa.DecodeProgram(data)
+		if err != nil {
+			fatal(fmt.Errorf("decoding %s: %w", input, err))
+		}
+		if *dis {
+			fmt.Print(isa.Disassemble(prog))
+		}
+		if *stats {
+			printStats(prog)
+		}
+		if *run {
+			chip := tsp.New(0, prog, nil)
+			finish, fault := chip.Run()
+			if fault != nil {
+				fatal(fault)
+			}
+			fmt.Printf("clean halt at cycle %d (%.3f µs at 900 MHz)\n",
+				finish, float64(finish)/900)
+		}
+	default:
+		prog, err := isa.Assemble(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		bin := isa.EncodeProgram(prog)
+		if *out == "" {
+			printStats(prog)
+			fmt.Printf("assembled %d instructions into %d bytes (use -o to write)\n",
+				prog.Len(), len(bin))
+			return
+		}
+		if err := os.WriteFile(*out, bin, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d instructions, %d bytes\n", *out, prog.Len(), len(bin))
+	}
+}
+
+func printStats(prog *isa.Program) {
+	fmt.Printf("%-5s %12s %12s\n", "unit", "instructions", "cycles")
+	for u := isa.Unit(0); u < isa.NumUnits; u++ {
+		if len(prog.Streams[u]) == 0 {
+			continue
+		}
+		var cycles int64
+		for _, in := range prog.Streams[u] {
+			cycles += isa.Latency(in)
+		}
+		fmt.Printf("%-5s %12d %12d\n", u, len(prog.Streams[u]), cycles)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tspasm:", err)
+	os.Exit(1)
+}

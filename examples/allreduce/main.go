@@ -1,0 +1,56 @@
+// All-Reduce bandwidth sweep: the Fig 16 experiment as an application —
+// sweep tensor sizes through the scheduled 8-way All-Reduce and compare
+// with the NCCL-style ring model on an 8-GPU NVSwitch system.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baseline"
+	"repro/tsm"
+)
+
+func main() {
+	sys, err := tsm.NewSystem(tsm.Config{Nodes: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%12s %14s %14s %14s\n", "tensor", "TSP busbw", "A100 busbw", "A100 norm")
+	for _, size := range []int64{8 << 10, 64 << 10, 512 << 10, 4 << 20, 32 << 20} {
+		r, err := sys.AllReduce(size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a100 := baseline.RingAllReduceBusBW(8, size)
+		fmt.Printf("%12d %11.1fGB/s %11.1fGB/s %11.1fGB/s\n",
+			size, r.BusBandwidthGBps(), a100, baseline.NormalizeToTSPPin(a100))
+	}
+	fmt.Println("\nthe scheduled fabric saturates orders of magnitude earlier: no kernel")
+	fmt.Println("launches, no flags, no fences — arrival times are compile-time facts")
+
+	// Scale out: a 2-node (16-TSP) hierarchical all-reduce.
+	big, err := tsm.NewSystem(tsm.Config{Nodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := big.AllReduce(1 << 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n16-TSP hierarchical all-reduce of 1 MiB: %.1f µs, %.1f GB/s\n",
+		r.Microseconds(), r.BusBandwidthGBps())
+
+	// And the functional proof: a real exchange on simulated chips, every
+	// chip ending with the elementwise global sum.
+	inputs := make([][]float32, 8)
+	for i := range inputs {
+		inputs[i] = []float32{float32(i + 1), float32(i * i)}
+	}
+	out, cycles, err := tsm.FunctionalAllReduce(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfunctional 8-way all-reduce on simulated chips (%d cycles):\n", cycles)
+	fmt.Printf("  every chip holds [%.0f %.0f] (want [36 140])\n", out[0][0], out[0][1])
+}

@@ -1,0 +1,213 @@
+// Package c2c models the chip-to-chip links of the TSP multiprocessor.
+//
+// A link is four serdes lanes, each operated at 25 Gbps (the hardware
+// supports up to 30 Gbps; the paper runs everything at 25 for uniformity),
+// for 100 Gbps = 12.5 GB/s per direction. A 320-byte vector travels in a
+// 328-byte wire frame (97.5 % encoding efficiency, Fig 11): because the
+// network is software-scheduled, no routing headers are needed — only a
+// small control/FEC tag.
+//
+// The latency of a real link is plesiochronous: a fixed serdes +
+// clock-domain-crossing component, a propagation component proportional to
+// cable length, and a few cycles of jitter. The paper characterizes it with
+// the HAC reflect protocol (Table 2: min 209 / mean ≈ 216.9 / max 228 / std
+// ≈ 2.8 cycles for 0.75 m intra-node cables). This package reproduces that
+// distribution with a deterministic per-link RNG stream, and additionally
+// exposes the *aligned* latency — the fixed arrival time the receive deskew
+// FIFO presents to the scheduled fabric once the link is characterized.
+package c2c
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ecc"
+	"repro/internal/sim"
+)
+
+// Wire and bandwidth constants (paper §2.3, Fig 11).
+const (
+	// VectorBytes is the payload size of one vector, the fabric's flit.
+	VectorBytes = 320
+	// FrameBytes is the on-wire size of one vector frame.
+	FrameBytes = 328
+	// LanesPerLink is the number of serdes lanes bonded into one link.
+	LanesPerLink = 4
+	// LaneGbps is the operating lane rate.
+	LaneGbps = 25
+	// LinkGBps is the usable payload bandwidth of one link direction in
+	// bytes per second: 100 Gbps of raw wire rate carrying 320/328
+	// payload bytes per frame.
+	LinkRawGbps = LanesPerLink * LaneGbps
+)
+
+// EncodingEfficiency is the fraction of wire bytes that carry payload.
+func EncodingEfficiency() float64 { return float64(VectorBytes) / float64(FrameBytes) }
+
+// FrameTime is the serialization time of one 328-byte frame at 100 Gbps:
+// 328*8 bits / 100 Gbps = 26.24 ns.
+const FrameTime = sim.Time(FrameBytes * 8 * 1000 / LinkRawGbps * sim.Nanosecond / 1000)
+
+// VectorSlotCycles is the link occupancy of one vector in 900 MHz core
+// cycles, rounded up: the schedule may place at most one vector per slot per
+// link. ceil(26.24 ns / 1.111 ns) = 24.
+const VectorSlotCycles = 24
+
+// Media is the physical cable type.
+type Media int
+
+const (
+	// Electrical cables serve intra-node (0.75 m low-profile) and
+	// intra-rack (<2 m QSFP) connections.
+	Electrical Media = iota
+	// Optical active cables serve rack-to-rack connections.
+	Optical
+)
+
+func (m Media) String() string {
+	if m == Optical {
+		return "optical"
+	}
+	return "electrical"
+}
+
+// Latency model constants, in 900 MHz cycles.
+const (
+	// serdesBaseCycles is the fixed TX serdes + RX CDC + framing latency.
+	serdesBaseCycles = 206
+	// cyclesPerMeter is signal propagation (~5 ns/m ≈ 4.5 cycles/m).
+	cyclesPerMeter = 4.5
+	// opticalExtraCycles is added by a pair of active optical
+	// transceivers.
+	opticalExtraCycles = 90
+	// jitterMean/jitterStd shape the observed per-direction latency
+	// spread above the minimum; clipJitter bounds it (serdes FIFOs
+	// guarantee a bound). Tuned so that the HAC reflect protocol's
+	// round-trip/2 estimate reproduces Table 2: mean ≈ 216.9, std ≈ 2.8,
+	// min ≈ 209-211, max ≈ 225-228 cycles on intra-node cables.
+	jitterMean = 6.7
+	jitterStd  = 4.1
+	clipJitter = 19
+)
+
+// Config describes one physical link.
+type Config struct {
+	// Length is the cable length in meters.
+	Length float64
+	// Media selects electrical or optical signaling.
+	Media Media
+	// BitErrorRate is the per-bit probability of a transmission error,
+	// used by fault-injection experiments. Zero disables errors.
+	BitErrorRate float64
+}
+
+// IntraNode returns the standard 0.75 m electrical intra-node cable.
+func IntraNode() Config { return Config{Length: 0.75, Media: Electrical} }
+
+// IntraRack returns a <2 m electrical QSFP cable between nodes of a rack.
+func IntraRack() Config { return Config{Length: 2.0, Media: Electrical} }
+
+// InterRack returns an active optical cable between racks.
+func InterRack(meters float64) Config { return Config{Length: meters, Media: Optical} }
+
+// Link is one unidirectional point-to-point C2C link instance with its own
+// deterministic jitter stream.
+type Link struct {
+	cfg       Config
+	rng       *sim.RNG
+	meanShift float64 // small per-link manufacturing variation
+}
+
+// New creates a link. The RNG stream should be forked from the system seed
+// with a stable per-link identifier so runs are reproducible.
+func New(cfg Config, rng *sim.RNG) *Link {
+	// Per-link static variation of the mean, ±0.5 cycles, mirroring the
+	// spread of per-link means in Table 2.
+	shift := (rng.Float64() - 0.5)
+	return &Link{cfg: cfg, rng: rng, meanShift: shift}
+}
+
+// Config returns the link's physical configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// MinLatencyCycles is the deterministic floor of the link's latency.
+func (l *Link) MinLatencyCycles() int {
+	c := serdesBaseCycles + int(math.Ceil(l.cfg.Length*cyclesPerMeter))
+	if l.cfg.Media == Optical {
+		c += opticalExtraCycles
+	}
+	return c
+}
+
+// DrawLatencyCycles draws one observed single-trip latency in cycles, as the
+// HAC reflect protocol would measure it. The draw is deterministic given the
+// link's RNG stream position.
+func (l *Link) DrawLatencyCycles() int {
+	j := l.rng.NormFloat64()*jitterStd + jitterMean + l.meanShift
+	if j < 0 {
+		j = 0
+	}
+	if j > clipJitter {
+		j = clipJitter
+	}
+	return l.MinLatencyCycles() + int(math.Round(j))
+}
+
+// AlignedLatencyCycles is the fixed latency the receive deskew FIFO presents
+// after link characterization: the worst-case draw. Once a link is trained,
+// every vector arrives exactly this many cycles after transmission, which is
+// what makes the fabric schedulable.
+func (l *Link) AlignedLatencyCycles() int {
+	return l.MinLatencyCycles() + clipJitter
+}
+
+// Frame is one vector on the wire.
+type Frame struct {
+	// Payload carries the 320-byte vector.
+	Payload [VectorBytes]byte
+	// Tag carries the 2-byte control field (stream identifier at the
+	// receiver). There is no destination address: the path is scheduled.
+	Tag uint16
+	// fec carries the SECDED stripes protecting the payload, present
+	// only while the frame is "on the wire".
+	fec ecc.FECFrame
+	// corrupt marks frames whose injected errors exceeded FEC capability.
+	corrupt bool
+}
+
+// Transmit encodes the payload with FEC and applies the link's bit-error
+// process. The returned frame is what the receiver sees.
+func (l *Link) Transmit(f Frame) Frame {
+	f.fec = ecc.EncodeFrame(f.Payload[:])
+	if ber := l.cfg.BitErrorRate; ber > 0 {
+		bits := VectorBytes * 8
+		// With realistic BERs (<1e-12) a per-bit loop is exact but
+		// wasteful; fault-injection experiments use large BERs where
+		// the loop is fine and exactness matters.
+		for b := 0; b < bits; b++ {
+			if l.rng.Bernoulli(ber) {
+				f.fec.InjectBitError(b)
+			}
+		}
+	}
+	return f
+}
+
+// Receive runs FEC decode. It returns the delivered frame, the number of
+// corrected single-bit errors, and whether an uncorrectable error was
+// detected (in which case the runtime must replay — the fabric never
+// retries, per §4.5).
+func Receive(f Frame) (Frame, int, bool) {
+	payload, corrected, mbe := ecc.DecodeFrame(f.fec)
+	copy(f.Payload[:], payload)
+	f.corrupt = mbe
+	return f, corrected, mbe
+}
+
+// Corrupt reports whether the frame carries a detected-uncorrectable error.
+func (f Frame) Corrupt() bool { return f.corrupt }
+
+func (l *Link) String() string {
+	return fmt.Sprintf("c2c{%.2fm %s, min %d cyc, aligned %d cyc}",
+		l.cfg.Length, l.cfg.Media, l.MinLatencyCycles(), l.AlignedLatencyCycles())
+}

@@ -1,0 +1,278 @@
+// Package collective builds SSN schedules for the collective operations the
+// paper evaluates: the 8-way intra-node All-Reduce of Fig 16 and the
+// three-stage hierarchical All-Reduce of §5.6 (node / global / node).
+//
+// Because the fabric is scheduled and the consumer's issue time is part of
+// the compile, no flags, mutexes, or memory fences appear anywhere: a
+// reduction simply issues after the last contributing vector's statically
+// known arrival cycle (§5.3's "barrier-free" property).
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/c2c"
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/topo"
+)
+
+// VAddCyclesPerVector is the VXM latency of one vector accumulation. The
+// TSP's producer-consumer stream model chains the adder behind the C2C
+// receive path, so accumulation is a *fly-by* that overlaps the incoming
+// stream: only the final vector's add latency is exposed end to end.
+const VAddCyclesPerVector = 2
+
+// Result summarizes one scheduled collective.
+type Result struct {
+	Participants int
+	Bytes        int64
+	// Cycles is the end-to-end completion time.
+	Cycles int64
+	// Schedule is the underlying verified communication schedule.
+	Schedule *core.CommSchedule
+}
+
+// Microseconds converts the cycle count at the 900 MHz core clock.
+func (r Result) Microseconds() float64 { return float64(r.Cycles) / 900 }
+
+// BusBandwidthGBps reports the collective's realized bandwidth using the
+// nccl-tests "bus bandwidth" convention the paper's Fig 16 cites:
+// busbw = (2·(n−1)/n) · S / t.
+func (r Result) BusBandwidthGBps() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	n := float64(r.Participants)
+	seconds := float64(r.Cycles) / 900e6
+	return 2 * (n - 1) / n * float64(r.Bytes) / seconds / 1e9
+}
+
+// vectorsOf converts a byte count to 320-byte flits (at least 1).
+func vectorsOf(bytes int64) int {
+	v := int((bytes + c2c.VectorBytes - 1) / c2c.VectorBytes)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// NodeAllReduce schedules an 8-way All-Reduce of a bytes-sized tensor
+// across the TSPs of one node: a reduce-scatter (every TSP sends shard j to
+// TSP j over its dedicated link, TSP j accumulates) followed by an
+// all-gather (TSP j returns the reduced shard to every peer). Every
+// transfer rides a dedicated intra-node link, so both phases are fully
+// parallel across pairs.
+func NodeAllReduce(sys *topo.System, node topo.NodeID, bytes int64) (Result, error) {
+	if bytes <= 0 {
+		return Result{}, fmt.Errorf("collective: non-positive tensor size")
+	}
+	const n = topo.TSPsPerNode
+	base := topo.TSPID(int(node) * n)
+	shardVecs := vectorsOf((bytes + n - 1) / n)
+
+	var transfers []core.Transfer
+	id := core.TransferID(0)
+	// Phase 1: reduce-scatter. Every ordered pair (i→j) moves shard j on
+	// its dedicated intra-node link; TSP j fly-by accumulates arrivals.
+	var intoShard [n][]core.TransferID
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			transfers = append(transfers, core.Transfer{
+				ID: id, Src: base + topo.TSPID(i), Dst: base + topo.TSPID(j),
+				Vectors: shardVecs, MinimalOnly: true,
+			})
+			intoShard[j] = append(intoShard[j], id)
+			id++
+		}
+	}
+	// Phase 2: all-gather. Shard j leaves TSP j once the last
+	// contribution has arrived and cleared the fly-by adder.
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			transfers = append(transfers, core.Transfer{
+				ID: id, Src: base + topo.TSPID(j), Dst: base + topo.TSPID(i),
+				Vectors: shardVecs, MinimalOnly: true,
+				Earliest: VAddCyclesPerVector,
+				After:    intoShard[j],
+			})
+			id++
+		}
+	}
+	cs, err := core.ScheduleTransfers(sys, transfers)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := cs.Verify(); err != nil {
+		return Result{}, fmt.Errorf("collective: schedule verification: %w", err)
+	}
+	return Result{
+		Participants: n,
+		Bytes:        bytes,
+		// The exposed tail is the last gathered vector's fly-by write.
+		Cycles:   cs.Makespan + VAddCyclesPerVector,
+		Schedule: cs,
+	}, nil
+}
+
+// HierarchicalAllReduce schedules the §5.6 three-stage All-Reduce across
+// every TSP of an all-to-all (≤33 node) system:
+//
+//	stage 1: 8-way reduce-scatter inside each node;
+//	stage 2: same-shard exchange among nodes over the global links, with
+//	         each shard owner accumulating the other nodes' partials;
+//	stage 3: 8-way all-gather inside each node.
+func HierarchicalAllReduce(sys *topo.System, bytes int64) (Result, error) {
+	if sys.Regime() == topo.RackDragonfly {
+		// Rack-scale systems use the five-stage closed form.
+		return RackAllReduce(sys, bytes)
+	}
+	if bytes <= 0 {
+		return Result{}, fmt.Errorf("collective: non-positive tensor size")
+	}
+	nodes := sys.NumNodes()
+	const n = topo.TSPsPerNode
+	if nodes == 1 {
+		return NodeAllReduce(sys, 0, bytes)
+	}
+	shardVecs := vectorsOf((bytes + n - 1) / n)
+
+	var transfers []core.Transfer
+	id := core.TransferID(0)
+	add := func(src, dst topo.TSPID, vecs int, earliest int64, after []core.TransferID) core.TransferID {
+		transfers = append(transfers, core.Transfer{
+			ID: id, Src: src, Dst: dst, Vectors: vecs, Earliest: earliest,
+			After: after, MinimalOnly: true,
+		})
+		id++
+		return id - 1
+	}
+	tsp := func(node, idx int) topo.TSPID { return topo.TSPID(node*n + idx) }
+
+	// Stage 1 per node: reduce-scatter.
+	stage1Into := make([][]core.TransferID, nodes*n) // by shard-owner TSP
+	for nd := 0; nd < nodes; nd++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				tid := add(tsp(nd, i), tsp(nd, j), shardVecs, 0, nil)
+				stage1Into[nd*n+j] = append(stage1Into[nd*n+j], tid)
+			}
+		}
+	}
+	// Stage 2: shard j owners across nodes exchange partials all-to-all
+	// (each owner ends with the global sum of its shard, accumulated
+	// fly-by as in stage 1).
+	stage2Into := make([][]core.TransferID, nodes*n)
+	for j := 0; j < n; j++ {
+		for a := 0; a < nodes; a++ {
+			for b := 0; b < nodes; b++ {
+				if a == b {
+					continue
+				}
+				tid := add(tsp(a, j), tsp(b, j), shardVecs, VAddCyclesPerVector, stage1Into[a*n+j])
+				stage2Into[b*n+j] = append(stage2Into[b*n+j], tid)
+			}
+		}
+	}
+	// Stage 3 per node: all-gather from each shard owner.
+	for nd := 0; nd < nodes; nd++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				if i == j {
+					continue
+				}
+				add(tsp(nd, j), tsp(nd, i), shardVecs, 2*VAddCyclesPerVector, stage2Into[nd*n+j])
+			}
+		}
+	}
+	cs, err := core.ScheduleTransfers(sys, transfers)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := cs.Verify(); err != nil {
+		return Result{}, fmt.Errorf("collective: schedule verification: %w", err)
+	}
+	return Result{
+		Participants: nodes * n,
+		Bytes:        bytes,
+		Cycles:       cs.Makespan + VAddCyclesPerVector,
+		Schedule:     cs,
+	}, nil
+}
+
+// ReduceToLeaderCycles is the closed-form cost of reducing equal-sized
+// partials held by `members` TSPs of one node onto a leader: a
+// reduce-scatter (each member fly-by accumulates shard j on dedicated
+// links) followed by a gather of the reduced shards to the leader. Both
+// phases stream all links in parallel, so the cost is two shard
+// serializations plus hops — constant in the member count for a fixed
+// total size.
+func ReduceToLeaderCycles(members, vectors int) int64 {
+	if members <= 1 || vectors <= 0 {
+		return 0
+	}
+	if members > topo.TSPsPerNode {
+		members = topo.TSPsPerNode
+	}
+	shard := int64((vectors + members - 1) / members)
+	phase := (shard-1)*int64(route.SlotCycles) + route.HopCycles
+	return 2*phase + VAddCyclesPerVector
+}
+
+// InterNodeReduceCycles is the closed-form cost of combining two nodes'
+// reduced partials across the node boundary: the tensor is spread over the
+// direct parallel cables plus Dragonfly non-minimal detours through
+// neighbor nodes (§4.3), giving `lanes` effective link-parallel streams at
+// two hops.
+func InterNodeReduceCycles(vectors, lanes int) int64 {
+	if vectors <= 0 {
+		return 0
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	perLane := int64((vectors + lanes - 1) / lanes)
+	return (perLane-1)*int64(route.SlotCycles) + 2*route.HopCycles + VAddCyclesPerVector
+}
+
+// LatencyBoundCycles is the paper's fine-grained All-Reduce latency floor:
+// the pipelined per-hop latency times the worst-case hop count (§5.6: 722
+// ns × 3 hops ≈ 2.1 µs for systems up to 264 TSPs).
+func LatencyBoundCycles(sys *topo.System) int64 {
+	return int64(sys.PackagingDiameter()) * route.HopCycles
+}
+
+// Broadcast schedules a one-to-all broadcast within a node: the root sends
+// the whole tensor directly to each of its 7 peers on dedicated links.
+func Broadcast(sys *topo.System, root topo.TSPID, bytes int64) (Result, error) {
+	if bytes <= 0 {
+		return Result{}, fmt.Errorf("collective: non-positive tensor size")
+	}
+	vecs := vectorsOf(bytes)
+	node := root.Node()
+	base := topo.TSPID(int(node) * topo.TSPsPerNode)
+	var transfers []core.Transfer
+	id := core.TransferID(0)
+	for i := 0; i < topo.TSPsPerNode; i++ {
+		dst := base + topo.TSPID(i)
+		if dst == root {
+			continue
+		}
+		transfers = append(transfers, core.Transfer{ID: id, Src: root, Dst: dst, Vectors: vecs})
+		id++
+	}
+	cs, err := core.ScheduleTransfers(sys, transfers)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Participants: topo.TSPsPerNode, Bytes: bytes, Cycles: cs.Makespan, Schedule: cs}, nil
+}

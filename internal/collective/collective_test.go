@@ -1,0 +1,182 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/route"
+	"repro/internal/topo"
+)
+
+func system(t *testing.T, nodes int) *topo.System {
+	t.Helper()
+	s, err := topo.New(topo.Config{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNodeAllReduceSmall(t *testing.T) {
+	sys := system(t, 1)
+	r, err := NodeAllReduce(sys, 0, 8*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Participants != 8 {
+		t.Fatalf("participants = %d", r.Participants)
+	}
+	if r.Cycles <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	// Two phases of dedicated-link transfers: at least 2 hops.
+	if r.Cycles < 2*route.HopCycles {
+		t.Fatalf("cycles = %d, below the 2-hop floor", r.Cycles)
+	}
+	// Small tensors are latency-bound: well under 10 µs.
+	if r.Microseconds() > 10 {
+		t.Fatalf("8KB all-reduce took %.1f µs", r.Microseconds())
+	}
+}
+
+func TestNodeAllReduceBandwidthSaturates(t *testing.T) {
+	// Fig 16: realized bandwidth grows with tensor size and saturates.
+	sys := system(t, 1)
+	var prev float64
+	sizes := []int64{32 << 10, 256 << 10, 2 << 20, 16 << 20}
+	var bws []float64
+	for _, s := range sizes {
+		r, err := NodeAllReduce(sys, 0, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw := r.BusBandwidthGBps()
+		if bw < prev*0.95 {
+			t.Fatalf("bandwidth regressed at %d bytes: %.1f < %.1f", s, bw, prev)
+		}
+		prev = bw
+		bws = append(bws, bw)
+	}
+	// Saturation: the largest size should realize a healthy fraction of
+	// the per-TSP link aggregate (7 links × 12.5 GB/s, both phases).
+	if bws[len(bws)-1] < 30 {
+		t.Fatalf("saturated busbw = %.1f GB/s, want > 30", bws[len(bws)-1])
+	}
+	// Small messages are far from saturation (latency-bound regime).
+	if bws[0] > bws[len(bws)-1]/2 {
+		t.Fatalf("32KB busbw %.1f too close to saturation %.1f", bws[0], bws[len(bws)-1])
+	}
+}
+
+func TestNodeAllReduceVerifiedSchedule(t *testing.T) {
+	sys := system(t, 1)
+	r, err := NodeAllReduce(sys, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Schedule.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// 8-way: 56 scatter + 56 gather transfers.
+	if len(r.Schedule.Transfers) != 112 {
+		t.Fatalf("transfers = %d, want 112", len(r.Schedule.Transfers))
+	}
+}
+
+func TestNodeAllReduceErrors(t *testing.T) {
+	sys := system(t, 1)
+	if _, err := NodeAllReduce(sys, 0, 0); err == nil {
+		t.Fatal("zero bytes should error")
+	}
+}
+
+func TestHierarchicalAllReduceTwoNodes(t *testing.T) {
+	sys := system(t, 2)
+	r, err := HierarchicalAllReduce(sys, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Participants != 16 {
+		t.Fatalf("participants = %d", r.Participants)
+	}
+	if err := r.Schedule.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Hierarchical must cost more than a single-node reduce of the same
+	// tensor (extra global stage).
+	single, err := NodeAllReduce(sys, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= single.Cycles {
+		t.Fatalf("16-way (%d cycles) should exceed 8-way (%d)", r.Cycles, single.Cycles)
+	}
+}
+
+func TestHierarchicalFallsBackToNode(t *testing.T) {
+	sys := system(t, 1)
+	r, err := HierarchicalAllReduce(sys, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Participants != 8 {
+		t.Fatal("single-node fallback wrong")
+	}
+}
+
+func TestHierarchicalHandlesRackRegime(t *testing.T) {
+	sys := system(t, 36)
+	r, err := HierarchicalAllReduce(sys, 1024)
+	if err != nil {
+		t.Fatalf("rack regime should route to the five-stage closed form: %v", err)
+	}
+	if r.Participants != 288 {
+		t.Fatalf("participants = %d", r.Participants)
+	}
+}
+
+// TestSec56LatencyBound reproduces the §5.6 claim: a fine-grained
+// all-reduce across a ≤264-TSP system is bounded by 3 pipelined hops of
+// 722 ns ≈ 2.1 µs.
+func TestSec56LatencyBound(t *testing.T) {
+	sys := system(t, 32) // 256 TSPs
+	cycles := LatencyBoundCycles(sys)
+	us := float64(cycles) / 900
+	if us < 2.0 || us > 2.3 {
+		t.Fatalf("latency bound = %.2f µs, want ≈2.1", us)
+	}
+	// Rack regime: 5 hops ≈ 3.6 µs — still under the abstract's "less
+	// than 3 microseconds" for memory access (single traversal) but the
+	// all-reduce bound grows with diameter.
+	rack := system(t, 36)
+	if LatencyBoundCycles(rack) <= cycles {
+		t.Fatal("rack-scale bound should exceed 3-hop bound")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	sys := system(t, 1)
+	r, err := Broadcast(sys, 3, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Schedule.Transfers) != 7 {
+		t.Fatalf("broadcast transfers = %d, want 7", len(r.Schedule.Transfers))
+	}
+	if err := r.Schedule.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Broadcast(sys, 3, 0); err == nil {
+		t.Fatal("zero bytes should error")
+	}
+}
+
+func TestBusBandwidthFormula(t *testing.T) {
+	r := Result{Participants: 8, Bytes: 900_000_000, Cycles: 900_000_000} // 1 s
+	// busbw = 2*(7/8)*0.9GB/1s = 1.575 GB/s.
+	if bw := r.BusBandwidthGBps(); bw < 1.57 || bw > 1.58 {
+		t.Fatalf("busbw = %f", bw)
+	}
+	if (Result{}).BusBandwidthGBps() != 0 {
+		t.Fatal("zero-cycle result should have zero bandwidth")
+	}
+}

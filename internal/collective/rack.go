@@ -1,0 +1,67 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/route"
+	"repro/internal/topo"
+)
+
+// Rack-scale All-Reduce: the five-stage generalization of §5.6's
+// hierarchical scheme for rack-Dragonfly systems:
+//
+//	1. intra-node reduce-scatter      (8 TSPs, dedicated links)
+//	2. intra-rack owner exchange      (9 nodes, doubly-connected group links)
+//	3. inter-rack owner exchange      (all-to-all racks over global cables)
+//	4. intra-rack gather              (mirror of 2)
+//	5. intra-node all-gather          (mirror of 1)
+//
+// Stages are closed-form: each moves a known per-link vector count at
+// virtual cut-through, exactly like the node-level formulas that are
+// proven equal to the explicit scheduler in the tests.
+
+// phaseCycles is the VCT completion of n back-to-back vectors on one link.
+func phaseCycles(n int64) int64 {
+	if n < 1 {
+		n = 1
+	}
+	return (n-1)*int64(route.SlotCycles) + route.HopCycles
+}
+
+// RackAllReduce models an All-Reduce across every TSP of a rack-Dragonfly
+// system. The returned Result carries no explicit schedule (the stage
+// structure is regular enough that the closed form is the schedule).
+func RackAllReduce(sys *topo.System, bytes int64) (Result, error) {
+	if sys.Regime() != topo.RackDragonfly {
+		return Result{}, fmt.Errorf("collective: RackAllReduce needs a rack-regime system")
+	}
+	if bytes <= 0 {
+		return Result{}, fmt.Errorf("collective: non-positive tensor size")
+	}
+	racks := int64(sys.NumRacks())
+	v := int64(vectorsOf(bytes))
+
+	// Stage 1/5: node shard = V/8 vectors per dedicated link.
+	s1 := phaseCycles(ceil64(v, topo.TSPsPerNode))
+	// Stage 2/4: each of a node's 8 owners splits its shard 9 ways and
+	// exchanges with the 8 peer nodes; a doubly-connected node pair
+	// carries 8 owner flows of V/72 each over 2 cables.
+	s2 := phaseCycles(ceil64(8*ceil64(v, topo.TSPsPerRack), 2))
+	// Stage 3: rack-level owners (72 per rack, shard V/72 each) exchange
+	// all-to-all across racks; a rack pair carries 72·(V/72) = V vectors
+	// over its c_g parallel cables.
+	cg := int64(144 / (racks - 1))
+	if cg < 1 {
+		cg = 1
+	}
+	s3 := phaseCycles(ceil64(v, cg))
+
+	cycles := 2*s1 + 2*s2 + s3 + 5*VAddCyclesPerVector
+	return Result{
+		Participants: sys.NumTSPs(),
+		Bytes:        bytes,
+		Cycles:       cycles,
+	}, nil
+}
+
+func ceil64(a, b int64) int64 { return (a + b - 1) / b }

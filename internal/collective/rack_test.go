@@ -1,0 +1,76 @@
+package collective
+
+import "testing"
+
+func TestRackAllReduceBasics(t *testing.T) {
+	sys := system(t, 36) // 4 racks, 288 TSPs
+	r, err := RackAllReduce(sys, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Participants != 288 {
+		t.Fatalf("participants = %d", r.Participants)
+	}
+	if r.Cycles <= 0 {
+		t.Fatal("no time")
+	}
+	// Rack scale must cost more than the same tensor across 2 nodes.
+	small, err := HierarchicalAllReduce(system(t, 2), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= small.Cycles {
+		t.Fatalf("rack %d cycles should exceed 2-node %d", r.Cycles, small.Cycles)
+	}
+}
+
+func TestRackAllReduceMonotoneInSize(t *testing.T) {
+	sys := system(t, 36)
+	var prev int64
+	for _, bytes := range []int64{64 << 10, 1 << 20, 16 << 20, 256 << 20} {
+		r, err := RackAllReduce(sys, bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycles <= prev {
+			t.Fatalf("cycles not monotone at %d bytes", bytes)
+		}
+		prev = r.Cycles
+	}
+}
+
+func TestRackAllReduceViaHierarchicalEntry(t *testing.T) {
+	sys := system(t, 36)
+	r, err := HierarchicalAllReduce(sys, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Participants != 288 || r.Schedule != nil {
+		t.Fatalf("rack path result %+v", r)
+	}
+}
+
+func TestRackAllReduceRejections(t *testing.T) {
+	if _, err := RackAllReduce(system(t, 2), 1024); err == nil {
+		t.Fatal("non-rack system should be rejected")
+	}
+	if _, err := RackAllReduce(system(t, 36), 0); err == nil {
+		t.Fatal("zero bytes should be rejected")
+	}
+}
+
+func TestRackAllReduceScalesWithRackCount(t *testing.T) {
+	// More racks → fewer cables per rack pair → slower inter-rack stage
+	// for the same tensor.
+	small, err := RackAllReduce(system(t, 36), 16<<20) // 4 racks, cg=48
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RackAllReduce(system(t, 9*16), 16<<20) // 16 racks, cg=9
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Cycles <= small.Cycles {
+		t.Fatalf("16 racks (%d) should be slower than 4 racks (%d)", big.Cycles, small.Cycles)
+	}
+}

@@ -1,0 +1,75 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/route"
+)
+
+func TestReduceToLeaderCycles(t *testing.T) {
+	// Degenerate cases.
+	if ReduceToLeaderCycles(1, 100) != 0 {
+		t.Fatal("single member needs no reduction")
+	}
+	if ReduceToLeaderCycles(4, 0) != 0 {
+		t.Fatal("empty tensor")
+	}
+	// Two phases of shard streaming: shard = ceil(100/4) = 25 vectors.
+	got := ReduceToLeaderCycles(4, 100)
+	phase := int64(24)*int64(route.SlotCycles) + route.HopCycles
+	if got != 2*phase+VAddCyclesPerVector {
+		t.Fatalf("cycles = %d, want %d", got, 2*phase+VAddCyclesPerVector)
+	}
+	// Member count clamps at the node size.
+	if ReduceToLeaderCycles(99, 800) != ReduceToLeaderCycles(8, 800) {
+		t.Fatal("members should clamp at 8")
+	}
+	// Cost is roughly constant in member count for fixed total (shards
+	// shrink as members grow).
+	if ReduceToLeaderCycles(2, 800) < ReduceToLeaderCycles(8, 800) {
+		t.Fatal("more members should not cost more for the same tensor")
+	}
+}
+
+func TestInterNodeReduceCycles(t *testing.T) {
+	if InterNodeReduceCycles(0, 4) != 0 {
+		t.Fatal("empty tensor")
+	}
+	// Lanes below 1 clamp.
+	a := InterNodeReduceCycles(100, 0)
+	b := InterNodeReduceCycles(100, 1)
+	if a != b {
+		t.Fatal("lanes should clamp to 1")
+	}
+	// More lanes → faster.
+	if InterNodeReduceCycles(800, 8) >= InterNodeReduceCycles(800, 2) {
+		t.Fatal("more lanes should be faster")
+	}
+	// Two hops of flight are charged.
+	got := InterNodeReduceCycles(8, 8)
+	if got != 2*route.HopCycles+VAddCyclesPerVector {
+		t.Fatalf("single-vector-per-lane cost = %d", got)
+	}
+}
+
+func TestPhaseCyclesFloor(t *testing.T) {
+	// Zero or negative vector counts still cost one hop (the fn clamps).
+	if phaseCycles(0) != route.HopCycles {
+		t.Fatalf("phase(0) = %d", phaseCycles(0))
+	}
+	if phaseCycles(1) != route.HopCycles {
+		t.Fatalf("phase(1) = %d", phaseCycles(1))
+	}
+	if phaseCycles(2) != route.HopCycles+int64(route.SlotCycles) {
+		t.Fatalf("phase(2) = %d", phaseCycles(2))
+	}
+}
+
+func TestVectorsOfRounding(t *testing.T) {
+	if vectorsOf(0) != 1 {
+		t.Fatal("zero bytes should clamp to one flit")
+	}
+	if vectorsOf(320) != 1 || vectorsOf(321) != 2 {
+		t.Fatal("rounding")
+	}
+}

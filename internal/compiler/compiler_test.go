@@ -1,0 +1,271 @@
+package compiler
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPeakRates(t *testing.T) {
+	// §5.2 geometry at 900 MHz: ≈184 FP16 TFLOPs, ≈737 INT8 TOPs.
+	if p := PeakTFlops(FP16); math.Abs(p-184.32) > 0.1 {
+		t.Fatalf("FP16 peak = %.2f TFLOPs, want ~184.3", p)
+	}
+	if p := PeakTFlops(INT8); math.Abs(p-737.28) > 0.5 {
+		t.Fatalf("INT8 peak = %.2f TOPs, want ~737.3", p)
+	}
+}
+
+func TestMatmulCycles(t *testing.T) {
+	// [1×160]×[160×320] is one sub-op; two per cycle → 1 cycle for 2.
+	if c := MatmulCycles(2, 320, 160, FP16); c != 1 {
+		t.Fatalf("2 sub-ops = %d cycles, want 1", c)
+	}
+	// Tiles quantize up.
+	if c := MatmulCycles(2, 321, 161, FP16); c != 4 {
+		t.Fatalf("quantized = %d cycles, want 4 (2x2 tiles, 2 rows, /2)", c)
+	}
+	if MatmulCycles(0, 10, 10, FP16) != 0 {
+		t.Fatal("degenerate dims")
+	}
+	// INT8 runs 2× the FP16 rate on K-heavy shapes (double rows per
+	// tile, double sub-ops per cycle).
+	f := MatmulCycles(1000, 320, 3200, FP16)
+	i := MatmulCycles(1000, 320, 3200, INT8)
+	if f != 4*i {
+		t.Fatalf("fp16 %d vs int8 %d, want 4x", f, i)
+	}
+}
+
+// TestFig13TSPUtilization: the TSP stays at ≥80 % across the whole Fig 13
+// sweep — the property the paper contrasts with the GPU sawtooth.
+func TestFig13TSPUtilization(t *testing.T) {
+	for n := 1376; n <= 3500; n += 4 {
+		u := TSPMatmulUtilization(2304, n, 4096, FP16)
+		if u < 0.80 {
+			t.Fatalf("N=%d: TSP utilization %.3f < 0.80", n, u)
+		}
+		if u > 1 {
+			t.Fatalf("N=%d: utilization %.3f > 1", n, u)
+		}
+	}
+}
+
+func TestUtilizationEdges(t *testing.T) {
+	if TSPMatmulUtilization(0, 1, 1, FP16) != 0 {
+		t.Fatal("degenerate")
+	}
+	// Perfectly tiled shapes reach the pipeline ceiling.
+	u := TSPMatmulUtilization(100, 320, 160, FP16)
+	if math.Abs(u-0.98) > 1e-9 {
+		t.Fatalf("aligned utilization = %f, want 0.98", u)
+	}
+}
+
+func TestPCIeCycles(t *testing.T) {
+	if PCIeCycles(0) != 0 {
+		t.Fatal("zero bytes")
+	}
+	// 25.6 GB moves in ~1 s = 900M cycles.
+	c := PCIeCycles(25_600_000_000)
+	if c < 899_000_000 || c > 901_005_000 {
+		t.Fatalf("25.6GB = %d cycles", c)
+	}
+	// Small transfers are overhead-dominated.
+	if c := PCIeCycles(64); c < PCIeBaseOverheadCycles {
+		t.Fatalf("tiny transfer %d cycles below base overhead", c)
+	}
+}
+
+// TestWeightStreamDemand reproduces §5.2's ordering observation: row-major
+// tile traversal needs only a few GB/s of PCIe feed, while column-major
+// needs orders of magnitude more.
+func TestWeightStreamDemand(t *testing.T) {
+	rowMajor := WeightStreamDemandGBps(100_000, FP16, true)
+	colMajor := WeightStreamDemandGBps(100_000, FP16, false)
+	if rowMajor < 1 || rowMajor > 6 {
+		t.Fatalf("row-major demand = %.1f GB/s, want ~2-4 (paper: 3.7)", rowMajor)
+	}
+	if colMajor < 300 {
+		t.Fatalf("column-major demand = %.1f GB/s, want hundreds (paper: 570)", colMajor)
+	}
+	if rowMajor < PCIeGBps == false {
+		t.Fatal("row-major must fit in PCIe Gen4 x16")
+	}
+	if colMajor < PCIeGBps {
+		t.Fatal("column-major must exceed PCIe capacity")
+	}
+}
+
+func TestMatmulSplitValidation(t *testing.T) {
+	good := MatmulSplit{M: 800, N: 8192, K: 32576, ColSplits: 8, RowSplits: 4, Dtype: FP16}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Devices() != 32 {
+		t.Fatalf("devices = %d", good.Devices())
+	}
+	m, n, k := good.PerDevice()
+	if m != 800 || n != 1024 || k != 8144 {
+		t.Fatalf("per-device dims %dx%dx%d", m, k, n)
+	}
+	// The paper sweeps R=1..13 over K=32576: ceil-splitting must work.
+	uneven := good
+	uneven.RowSplits = 13
+	if err := uneven.Validate(); err != nil {
+		t.Fatalf("uneven K split should validate: %v", err)
+	}
+	if _, _, k := uneven.PerDevice(); k != 2506 {
+		t.Fatalf("uneven per-device K = %d, want ceil(32576/13)=2506", k)
+	}
+	bad := good
+	bad.ColSplits = 7
+	if bad.Validate() == nil {
+		t.Fatal("indivisible N should fail")
+	}
+	bad = good
+	bad.M = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero M should fail")
+	}
+}
+
+func TestMatmulSplitMoreRowSplitsLessCompute(t *testing.T) {
+	// Fig 14's mechanism: row splits shrink per-device K, cutting
+	// compute proportionally.
+	base := MatmulSplit{M: 800, N: 8192, K: 32576, ColSplits: 8, RowSplits: 1, Dtype: FP16}
+	quad := base
+	quad.RowSplits = 4
+	if quad.ComputeCycles() >= base.ComputeCycles() {
+		t.Fatal("row splits should reduce per-device compute")
+	}
+	ratio := float64(base.ComputeCycles()) / float64(quad.ComputeCycles())
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("4 row splits give %.2fx compute reduction, want ~4x", ratio)
+	}
+}
+
+func TestMatmulBuildGraph(t *testing.T) {
+	s := MatmulSplit{M: 800, N: 8192, K: 32576, ColSplits: 2, RowSplits: 4, Dtype: FP16}
+	g, err := s.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 partials + 2 reduces.
+	if g.NumOps() != 10 {
+		t.Fatalf("ops = %d, want 10", g.NumOps())
+	}
+	if g.Devices() != 8 {
+		t.Fatalf("devices = %d", g.Devices())
+	}
+	// Each group's reduce pulls 3 partials across devices.
+	if len(g.CommEdges()) != 2*3 {
+		t.Fatalf("comm edges = %d, want 6", len(g.CommEdges()))
+	}
+	bad := s
+	bad.ColSplits = 3
+	if _, err := bad.BuildGraph(); err == nil {
+		t.Fatal("invalid split should not build")
+	}
+}
+
+func TestGroupedTSPMapping(t *testing.T) {
+	s := MatmulSplit{M: 800, N: 8192, K: 32576, ColSplits: 8, RowSplits: 8, Dtype: FP16}
+	mapping, nodes := s.GroupedTSPMapping()
+	if nodes != 8 {
+		t.Fatalf("nodes = %d, want 8", nodes)
+	}
+	// Group g's 8 devices all land on node g.
+	for dev := 0; dev < 64; dev++ {
+		tsp := mapping(dev)
+		if tsp/8 != dev/8 {
+			t.Fatalf("device %d on node %d, want %d", dev, tsp/8, dev/8)
+		}
+	}
+}
+
+func TestBERTConfigs(t *testing.T) {
+	b := BERTBase()
+	l := BERTLarge()
+	if b.Layers != 12 || b.Hidden != 768 {
+		t.Fatal("BERT-Base config")
+	}
+	if l.Layers != 24 || l.Hidden != 1024 {
+		t.Fatal("BERT-Large config")
+	}
+	if l.WithLayers(96).Layers != 96 {
+		t.Fatal("WithLayers")
+	}
+	// BERT-Large at seq 384 ≈ 246 GOps.
+	gops := float64(l.TotalOps()) / 1e9
+	if gops < 220 || gops > 270 {
+		t.Fatalf("BERT-Large ops = %.0f G, want ~246", gops)
+	}
+}
+
+// TestBERTLargeLatencyBallpark: the per-layer cycle model must land a
+// 4-TSP BERT-Large inference near the paper's ~1.2 ms (Fig 17) once the
+// pipeline stages execute sequentially for one inference.
+func TestBERTLargeLatencyBallpark(t *testing.T) {
+	c := BERTLarge()
+	totalCycles := int64(c.Layers) * c.LayerCycles()
+	us := float64(totalCycles) / 900 // cycles → µs at 900 MHz
+	if us < 700 || us > 1400 {
+		t.Fatalf("BERT-Large compute = %.0f µs, want ~0.9-1.3 ms", us)
+	}
+}
+
+func TestPartitionBERT(t *testing.T) {
+	c := BERTLarge()
+	opt, err := PartitionBERT(c, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unopt, err := PartitionBERT(c, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Crossings() != 3 {
+		t.Fatalf("optimized crossings = %d, want 3", opt.Crossings())
+	}
+	if unopt.Crossings() != 23 {
+		t.Fatalf("unoptimized crossings = %d, want 23", unopt.Crossings())
+	}
+	// Both are FLOP-balanced: 6 layers per device.
+	counts := make([]int, 4)
+	for _, d := range unopt.DeviceOf {
+		counts[d]++
+	}
+	for _, n := range counts {
+		if n != 6 {
+			t.Fatalf("unoptimized layer balance %v", counts)
+		}
+	}
+	if _, err := PartitionBERT(c, 0, true); err == nil {
+		t.Fatal("zero devices")
+	}
+	if _, err := PartitionBERT(c, 25, true); err == nil {
+		t.Fatal("more devices than layers")
+	}
+}
+
+func TestPartitionBuildGraph(t *testing.T) {
+	c := BERTLarge()
+	p, _ := PartitionBERT(c, 4, true)
+	g := p.BuildGraph()
+	if g.NumOps() != 24 {
+		t.Fatalf("ops = %d", g.NumOps())
+	}
+	if len(g.CommEdges()) != 3 {
+		t.Fatalf("comm edges = %d, want 3", len(g.CommEdges()))
+	}
+	p2, _ := PartitionBERT(c, 4, false)
+	if got := len(p2.BuildGraph().CommEdges()); got != 23 {
+		t.Fatalf("unoptimized comm edges = %d, want 23", got)
+	}
+}
+
+func TestDtypeString(t *testing.T) {
+	if FP16.String() != "fp16" || INT8.String() != "int8" {
+		t.Fatal("dtype strings")
+	}
+}

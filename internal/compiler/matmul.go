@@ -1,0 +1,128 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Distributed matmul planning (§5.2).
+//
+// An [M×K]×[K×N] operation is decomposed with:
+//   - column-wise weight splits: the weight matrix splits into C column
+//     blocks [K×(N/C)], one per device group; results concatenate (free —
+//     they land in disjoint memory).
+//   - row-wise weight splits: within a group, the weight block splits into
+//     R row blocks [(K/R)×(N/C)] and the activations column-wise; each
+//     device produces a full-size partial product [M×(N/C)] and the R
+//     partials reduce (real network traffic).
+//
+// The paper clusters each group's R row-split devices inside one node so
+// the reduction rides the node's dedicated links.
+
+// MatmulSplit is a two-level decomposition of an [M×K]×[K×N] matmul.
+type MatmulSplit struct {
+	M, N, K int
+	// ColSplits is the number of column blocks (device groups).
+	ColSplits int
+	// RowSplits is the number of row blocks inside each group.
+	RowSplits int
+	// Dtype selects precision.
+	Dtype Dtype
+}
+
+// Devices returns the total device count: one per (col, row) block.
+func (s MatmulSplit) Devices() int { return s.ColSplits * s.RowSplits }
+
+// Validate checks the split divides the operand dimensions sensibly.
+func (s MatmulSplit) Validate() error {
+	if s.M <= 0 || s.N <= 0 || s.K <= 0 {
+		return fmt.Errorf("compiler: non-positive matmul dims %dx%dx%d", s.M, s.K, s.N)
+	}
+	if s.ColSplits < 1 || s.RowSplits < 1 {
+		return fmt.Errorf("compiler: splits must be >= 1")
+	}
+	if s.N%s.ColSplits != 0 {
+		return fmt.Errorf("compiler: N=%d not divisible by %d column splits", s.N, s.ColSplits)
+	}
+	if s.RowSplits > s.K {
+		return fmt.Errorf("compiler: %d row splits exceed K=%d", s.RowSplits, s.K)
+	}
+	return nil
+}
+
+// PerDevice returns each device's local matmul dimensions. Row splits need
+// not divide K evenly (the paper sweeps N=1..13 over K=32576); the
+// worst-loaded device gets ⌈K/R⌉ rows, which is what bounds the stage
+// latency.
+func (s MatmulSplit) PerDevice() (m, n, k int) {
+	return s.M, s.N / s.ColSplits, ceilDiv(s.K, s.RowSplits)
+}
+
+// PartialBytes returns the size of one device's partial product [M×(N/C)].
+func (s MatmulSplit) PartialBytes() int64 {
+	bytesPerVal := int64(2)
+	if s.Dtype == INT8 {
+		bytesPerVal = 1 // int8 inputs accumulate to int32, but partials
+		// exchange re-quantized activations in deployment; keep 1B.
+	}
+	return int64(s.M) * int64(s.N/s.ColSplits) * bytesPerVal
+}
+
+// ComputeCycles returns each device's MXM occupancy for its block.
+func (s MatmulSplit) ComputeCycles() int64 {
+	m, n, k := s.PerDevice()
+	return MatmulCycles(m, n, k, s.Dtype)
+}
+
+// BuildGraph lowers the split into a computation DAG:
+//
+//	device d = group g·RowSplits + r computes partial (g, r);
+//	within each group the R partials fly-by reduce onto the group's
+//	device 0 (r>0 devices send their partial to r=0);
+//	concatenation across groups is free.
+//
+// Device ids are dense 0..Devices()-1; the caller maps them onto TSPs
+// (groups onto nodes to exploit packaging locality).
+func (s MatmulSplit) BuildGraph() (*graph.Graph, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g := graph.New()
+	in := g.AddInput("activations", int64(s.M)*int64(s.K)) // resident
+	for grp := 0; grp < s.ColSplits; grp++ {
+		var partials []graph.TensorID
+		for r := 0; r < s.RowSplits; r++ {
+			dev := grp*s.RowSplits + r
+			_, t := g.AddOp(
+				fmt.Sprintf("partial[g%d,r%d]", grp, r),
+				dev, s.ComputeCycles(), []graph.TensorID{in}, s.PartialBytes(),
+			)
+			partials = append(partials, t)
+		}
+		// Reduce onto the group leader (device r=0). The adds are
+		// fly-by behind the receive stream; charge only the exposed
+		// tail per contribution.
+		leader := grp * s.RowSplits
+		g.AddOp(
+			fmt.Sprintf("reduce[g%d]", grp),
+			leader, int64(2*(s.RowSplits-1)), partials, s.PartialBytes(),
+		)
+	}
+	return g, nil
+}
+
+// GroupedTSPMapping places group g's devices on node g (packaging
+// locality: row-split reductions ride intra-node links). It returns a
+// device→TSP function for core.CompileGraph, and the node count needed.
+func (s MatmulSplit) GroupedTSPMapping() (func(int) int, int) {
+	perNode := 8
+	nodesPerGroup := ceilDiv(s.RowSplits, perNode)
+	mapping := func(dev int) int {
+		grp := dev / s.RowSplits
+		r := dev % s.RowSplits
+		node := grp*nodesPerGroup + r/perNode
+		return node*perNode + r%perNode
+	}
+	return mapping, s.ColSplits * nodesPerGroup
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/route"
+	"repro/internal/topo"
+)
+
+// Schedule tracing: render a compiled CommSchedule as a per-link waterfall,
+// the textual equivalent of the timeline a hardware team would pull from a
+// logic analyzer — except here it is exact and available before the machine
+// runs.
+
+// TraceOptions controls rendering.
+type TraceOptions struct {
+	// CyclesPerChar is the time resolution of one output column.
+	CyclesPerChar int64
+	// MaxWidth truncates rows beyond this many columns (0 = 120).
+	MaxWidth int
+	// Links filters which links to render (nil = all links with traffic).
+	Links []topo.LinkID
+}
+
+// Trace renders the schedule. Each row is one link; each column covers
+// CyclesPerChar cycles; a column is marked with the transfer id (mod 10)
+// that occupies it, '.' when idle.
+func (cs *CommSchedule) Trace(sys *topo.System, opt TraceOptions) string {
+	if opt.CyclesPerChar <= 0 {
+		opt.CyclesPerChar = route.SlotCycles
+	}
+	if opt.MaxWidth <= 0 {
+		opt.MaxWidth = 120
+	}
+	type occ struct {
+		start int64
+		tr    TransferID
+	}
+	byLink := map[topo.LinkID][]occ{}
+	for _, s := range cs.Slots {
+		t := s.Depart
+		for _, l := range s.Route.Links {
+			byLink[l] = append(byLink[l], occ{t, s.Transfer})
+			t += route.HopCycles
+		}
+	}
+	links := opt.Links
+	if links == nil {
+		for l := range byLink {
+			links = append(links, l)
+		}
+		sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	}
+	cols := int(cs.Makespan/opt.CyclesPerChar) + 1
+	if cols > opt.MaxWidth {
+		cols = opt.MaxWidth
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule trace: %d transfers, %d vectors, makespan %d cycles (%.1f µs); 1 col = %d cycles\n",
+		len(cs.Transfers), len(cs.Slots), cs.Makespan, float64(cs.Makespan)/900, opt.CyclesPerChar)
+	for _, l := range links {
+		occs := byLink[l]
+		if len(occs) == 0 {
+			continue
+		}
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, o := range occs {
+			from := int(o.start / opt.CyclesPerChar)
+			to := int((o.start + route.SlotCycles - 1) / opt.CyclesPerChar)
+			for c := from; c <= to && c < cols; c++ {
+				row[c] = byte('0' + int(o.tr)%10)
+			}
+		}
+		link := sys.Link(l)
+		fmt.Fprintf(&b, "L%04d %3d→%-3d |%s|\n", l, link.From, link.To, row)
+	}
+	return b.String()
+}
+
+// BusiestLinks returns the n links with the most reserved slots, for
+// hotspot analysis.
+func (cs *CommSchedule) BusiestLinks(n int) []topo.LinkID {
+	count := map[topo.LinkID]int{}
+	for _, s := range cs.Slots {
+		for _, l := range s.Route.Links {
+			count[l]++
+		}
+	}
+	links := make([]topo.LinkID, 0, len(count))
+	for l := range count {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if count[links[i]] != count[links[j]] {
+			return count[links[i]] > count[links[j]]
+		}
+		return links[i] < links[j]
+	})
+	if n > 0 && len(links) > n {
+		links = links[:n]
+	}
+	return links
+}

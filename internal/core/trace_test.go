@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestTraceRendersOccupancy(t *testing.T) {
+	sys := node8(t)
+	cs, err := ScheduleTransfers(sys, []Transfer{
+		{ID: 0, Src: 0, Dst: 1, Vectors: 8},
+		{ID: 1, Src: 0, Dst: 1, Vectors: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cs.Trace(sys, TraceOptions{})
+	if !strings.Contains(out, "makespan") {
+		t.Fatalf("missing header: %q", out)
+	}
+	// Both transfer ids appear in the waterfall.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Fatal("transfer marks missing")
+	}
+	// The shared link row shows the direction.
+	if !strings.Contains(out, "0→1") {
+		t.Fatalf("link annotation missing:\n%s", out)
+	}
+}
+
+func TestTraceWidthBounded(t *testing.T) {
+	sys := node8(t)
+	cs, err := ScheduleTransfers(sys, []Transfer{{ID: 0, Src: 0, Dst: 1, Vectors: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cs.Trace(sys, TraceOptions{MaxWidth: 40})
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "L") && len(line) > 60 {
+			t.Fatalf("row too wide: %d chars", len(line))
+		}
+	}
+}
+
+func TestTraceLinkFilter(t *testing.T) {
+	sys := node8(t)
+	cs, err := ScheduleTransfers(sys, []Transfer{{ID: 0, Src: 0, Dst: 1, Vectors: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busiest := cs.BusiestLinks(1)
+	if len(busiest) != 1 {
+		t.Fatal("busiest links empty")
+	}
+	out := cs.Trace(sys, TraceOptions{Links: busiest})
+	rows := 0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "L") {
+			rows++
+		}
+	}
+	if rows != 1 {
+		t.Fatalf("filtered trace has %d rows, want 1", rows)
+	}
+}
+
+func TestBusiestLinksOrdering(t *testing.T) {
+	sys := node8(t)
+	cs, err := ScheduleTransfers(sys, []Transfer{
+		{ID: 0, Src: 0, Dst: 1, Vectors: 20, MinimalOnly: true},
+		{ID: 1, Src: 2, Dst: 3, Vectors: 5, MinimalOnly: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := cs.BusiestLinks(2)
+	if len(links) != 2 {
+		t.Fatalf("links = %v", links)
+	}
+	// The 20-vector link must rank first.
+	first := sys.Link(links[0])
+	if first.From != topo.TSPID(0) || first.To != topo.TSPID(1) {
+		t.Fatalf("busiest link is %d→%d, want 0→1", first.From, first.To)
+	}
+}

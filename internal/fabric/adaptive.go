@@ -1,0 +1,112 @@
+package fabric
+
+import (
+	"container/heap"
+
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Adaptive is the second conventional baseline of Fig 8: a minimal-path
+// router that *reacts* to congestion. Each vector prefers its minimal
+// route, but when the sender observes the minimal link's queue beyond a
+// threshold (the "back-pressure sensed" arrow of Fig 8), it detours via a
+// 2-hop non-minimal path chosen by its arbitration RNG.
+//
+// This recovers some throughput under contention — at the cost the paper
+// calls out: arrival times become load-dependent, and vectors of one
+// tensor arrive *out of order*, requiring reorder buffers downstream. The
+// SSN fabric exhibits neither.
+type Adaptive struct {
+	sys       *topo.System
+	rng       *sim.RNG
+	threshold int64 // queue depth (cycles of backlog) that triggers detours
+	events    dynQueue
+	seq       uint64
+	nextFree  map[topo.LinkID]int64
+	done      []Delivery
+}
+
+// NewAdaptive creates the adaptive baseline. threshold is the backlog (in
+// cycles) on the minimal first hop beyond which a vector detours.
+func NewAdaptive(sys *topo.System, seed uint64, threshold int64) *Adaptive {
+	a := &Adaptive{
+		sys: sys, rng: sim.NewRNG(seed), threshold: threshold,
+		nextFree: make(map[topo.LinkID]int64),
+	}
+	heap.Init(&a.events)
+	return a
+}
+
+// Inject queues a vector from src to dst starting at the given cycle. The
+// route is decided when the vector reaches its injection port (hop 0) —
+// that is when a real router's allocator sees the congestion state.
+func (a *Adaptive) Inject(id int, src, dst topo.TSPID, depart int64) {
+	direct := a.sys.Between(src, dst)
+	if len(direct) == 0 {
+		panic("fabric: adaptive baseline requires adjacent src/dst")
+	}
+	a.seq++
+	heap.Push(&a.events, &dynEvent{
+		time: depart, tie: a.rng.Uint64(), seq: a.seq,
+		vector: id, links: []topo.LinkID{direct[0]}, hop: 0,
+		depart: depart, src: src, dst: dst,
+	})
+}
+
+// Run drains all traffic, returning deliveries in completion order.
+func (a *Adaptive) Run() []Delivery {
+	for a.events.Len() > 0 {
+		e := heap.Pop(&a.events).(*dynEvent)
+		if e.hop == 0 && a.nextFree[e.links[0]]-e.time > a.threshold {
+			// Back-pressure sensed on the minimal link: reroute
+			// through a random common neighbor (Fig 8 step 3).
+			detours := a.sys.NonMinimalPaths(e.src, e.dst)
+			if len(detours) > 0 {
+				p := detours[a.rng.Intn(len(detours))]
+				e.links = a.sys.PathLinks(p, 0)
+			}
+		}
+		l := e.links[e.hop]
+		start := e.time
+		if nf := a.nextFree[l]; nf > start {
+			start = nf
+		}
+		a.nextFree[l] = start + route.SlotCycles
+		arrive := start + route.HopCycles
+		if e.hop+1 < len(e.links) {
+			a.seq++
+			heap.Push(&a.events, &dynEvent{
+				time: arrive, tie: a.rng.Uint64(), seq: a.seq,
+				vector: e.vector, links: e.links, hop: e.hop + 1,
+				depart: e.depart, src: e.src,
+			})
+			continue
+		}
+		a.done = append(a.done, Delivery{
+			VectorID: e.vector, Src: e.src, Dst: a.sys.Link(l).To,
+			Depart: e.depart, Arrival: arrive,
+		})
+	}
+	return a.done
+}
+
+// ReorderCount counts how many deliveries of the same (src,dst) flow
+// arrived out of injection order — the reordering adaptive routing induces
+// and SSN structurally cannot.
+func ReorderCount(deliveries []Delivery) int {
+	type flow struct{ src, dst topo.TSPID }
+	lastID := map[flow]int{}
+	out := 0
+	for _, d := range deliveries {
+		f := flow{d.Src, d.Dst}
+		if prev, ok := lastID[f]; ok && d.VectorID < prev {
+			out++
+		}
+		if d.VectorID > lastID[f] {
+			lastID[f] = d.VectorID
+		}
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+package hac
+
+import (
+	"testing"
+
+	"repro/internal/c2c"
+	"repro/internal/clock"
+	"repro/internal/sim"
+)
+
+func newDevices(t *testing.T, n int, seed uint64) []*Device {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	devs := make([]*Device, n)
+	for i := range devs {
+		devs[i] = NewDevice(i, clock.DefaultDrift.Draw(rng, i))
+	}
+	return devs
+}
+
+func intraNodeLink(seed, id uint64) *c2c.Link {
+	return c2c.New(c2c.IntraNode(), sim.NewRNG(seed).Fork(id))
+}
+
+func TestCounterWrap(t *testing.T) {
+	d := NewDevice(0, clock.NewNominal())
+	if d.HAC(0) != 0 || d.SAC(0) != 0 {
+		t.Fatal("counters must start at 0")
+	}
+	// After exactly Period cycles the counters wrap to 0.
+	tm := d.Clock.TimeOfCycle(Period)
+	if d.HAC(tm) != 0 {
+		t.Fatalf("HAC after one period = %d, want 0", d.HAC(tm))
+	}
+	tm = d.Clock.TimeOfCycle(Period + 10)
+	if d.HAC(tm) != 10 {
+		t.Fatalf("HAC = %d, want 10", d.HAC(tm))
+	}
+}
+
+func TestAdjustHAC(t *testing.T) {
+	d := NewDevice(0, clock.NewNominal())
+	d.AdjustHAC(5)
+	if got := d.HAC(0); got != 5 {
+		t.Fatalf("HAC after +5 = %d", got)
+	}
+	d.AdjustHAC(-10)
+	if got := d.HAC(0); got != Period-5 {
+		t.Fatalf("HAC after -10 = %d, want %d", got, Period-5)
+	}
+	// SAC is never affected by HAC adjustment.
+	if d.SAC(0) != 0 {
+		t.Fatal("SAC moved with HAC adjustment")
+	}
+}
+
+func TestDeltaTracksDrift(t *testing.T) {
+	d := NewDevice(0, clock.NewNominal())
+	if d.Delta(0) != 0 {
+		t.Fatal("fresh device should have zero delta")
+	}
+	d.AdjustHAC(7)
+	if d.Delta(0) != 7 {
+		t.Fatalf("delta = %d, want 7", d.Delta(0))
+	}
+	d.RebaseSAC()
+	if d.Delta(0) != 0 {
+		t.Fatal("rebase should zero the delta")
+	}
+}
+
+func TestSignedModRange(t *testing.T) {
+	for x := int64(-600); x <= 600; x++ {
+		r := signedMod(x, Period)
+		if r <= -Period/2 || r > Period/2 {
+			t.Fatalf("signedMod(%d) = %d out of range", x, r)
+		}
+		if mod(r-x, Period) != 0 {
+			t.Fatalf("signedMod(%d) = %d not congruent", x, r)
+		}
+	}
+}
+
+func TestNextEpochBoundary(t *testing.T) {
+	d := NewDevice(0, clock.NewNominal())
+	// At t=0 the HAC is 0 exactly at a cycle start: boundary is now.
+	if b := d.NextEpochBoundary(0); b != 0 {
+		t.Fatalf("boundary at 0 = %v", b)
+	}
+	// Just after t=0 the next boundary is at cycle Period.
+	b := d.NextEpochBoundary(1)
+	if want := d.Clock.TimeOfCycle(Period); b != want {
+		t.Fatalf("boundary = %v, want %v", b, want)
+	}
+	// HAC must read 0 at every boundary.
+	tm := sim.Time(12345)
+	for i := 0; i < 20; i++ {
+		tm = d.NextEpochBoundary(tm)
+		if h := d.HAC(tm); h != 0 {
+			t.Fatalf("HAC at boundary = %d", h)
+		}
+		tm++
+	}
+}
+
+func TestNextEpochBoundaryWithOffset(t *testing.T) {
+	d := NewDevice(0, clock.NewNominal())
+	d.AdjustHAC(100)
+	b := d.NextEpochBoundary(1)
+	if h := d.HAC(b); h != 0 {
+		t.Fatalf("HAC at boundary = %d, want 0", h)
+	}
+}
+
+// TestTable2Characterization reproduces Table 2: seven intra-node links
+// characterized with 100K reflect iterations each.
+func TestTable2Characterization(t *testing.T) {
+	for id := uint64(0); id < 7; id++ {
+		s := CharacterizeLink(intraNodeLink(42, id), 100_000)
+		if s.Min() < 209 || s.Min() > 213 {
+			t.Errorf("link %c: min = %.0f, want ~209-212", 'A'+rune(id), s.Min())
+		}
+		if s.Mean() < 215.5 || s.Mean() > 218.5 {
+			t.Errorf("link %c: mean = %.2f, want ~216-218", 'A'+rune(id), s.Mean())
+		}
+		if s.Max() < 224 || s.Max() > 230 {
+			t.Errorf("link %c: max = %.0f, want ~225-229", 'A'+rune(id), s.Max())
+		}
+		if s.Std() < 2.2 || s.Std() > 3.3 {
+			t.Errorf("link %c: std = %.2f, want ~2.6-2.9", 'A'+rune(id), s.Std())
+		}
+	}
+}
+
+func TestEdgeAlignConverges(t *testing.T) {
+	devs := newDevices(t, 2, 1)
+	e := &Edge{Parent: devs[0], Child: devs[1], Link: intraNodeLink(1, 0)}
+	e.Characterize(10_000)
+	// Force a large initial misalignment.
+	devs[1].AdjustHAC(111)
+	r := e.Align(0, 1, 10, 400)
+	if !r.Converged {
+		t.Fatalf("alignment did not converge: %+v", r)
+	}
+	// After convergence, parent and child HACs agree within the jitter
+	// neighborhood at a common instant (accounting for "reading" both at
+	// the same global time — the true test of a shared reference).
+	tm := r.End
+	diff := signedMod(devs[0].HAC(tm)-devs[1].HAC(tm), Period)
+	if abs(diff) > 12 {
+		t.Fatalf("post-alignment HAC difference = %d cycles", diff)
+	}
+}
+
+func TestAlignmentConvergesFromAnyOffset(t *testing.T) {
+	for _, initial := range []int64{1, 50, 126, 200, 251} {
+		devs := newDevices(t, 2, 7)
+		e := &Edge{Parent: devs[0], Child: devs[1], Link: intraNodeLink(7, 3)}
+		e.Characterize(10_000)
+		devs[1].AdjustHAC(initial)
+		r := e.Align(0, 1, 10, 500)
+		if !r.Converged {
+			t.Fatalf("offset %d: did not converge", initial)
+		}
+	}
+}
+
+func TestChainAlignment(t *testing.T) {
+	// A 4-hop chain: the root's reference must propagate to the leaf.
+	devs := newDevices(t, 5, 3)
+	tree := BuildChain(devs, func(i int) *c2c.Link { return intraNodeLink(3, uint64(i)) }, 10_000)
+	if tree.Height() != 4 {
+		t.Fatalf("height = %d, want 4", tree.Height())
+	}
+	r := tree.Align(0, 2, 10, 500)
+	if !r.Converged {
+		t.Fatalf("tree alignment failed: %+v", r)
+	}
+	tm := r.End
+	for _, d := range devs[1:] {
+		diff := signedMod(devs[0].HAC(tm)-d.HAC(tm), Period)
+		if abs(diff) > 15 {
+			t.Fatalf("device %d HAC off by %d cycles from root", d.ID, diff)
+		}
+	}
+}
+
+func TestStarAlignment(t *testing.T) {
+	// The intra-node topology: TSP 0 is parent of the other seven.
+	devs := newDevices(t, 8, 4)
+	tree := BuildStar(devs, func(i int) *c2c.Link { return intraNodeLink(4, uint64(i)) }, 10_000)
+	if tree.Height() != 1 {
+		t.Fatalf("height = %d, want 1", tree.Height())
+	}
+	r := tree.Align(0, 2, 10, 500)
+	if !r.Converged {
+		t.Fatal("star alignment failed")
+	}
+}
+
+func TestSyncOverheadFormula(t *testing.T) {
+	// L=217 cycles < period: one epoch per hop.
+	if got := SyncOverheadCycles(217, 3); got != 3*Period {
+		t.Fatalf("overhead = %d, want %d", got, 3*Period)
+	}
+	// L just above one period: two epochs per hop.
+	if got := SyncOverheadCycles(300, 2); got != 2*2*Period {
+		t.Fatalf("overhead = %d, want %d", got, 4*Period)
+	}
+}
+
+func TestInitialAlignmentTwoChips(t *testing.T) {
+	devs := newDevices(t, 2, 5)
+	e := &Edge{Parent: devs[0], Child: devs[1], Link: intraNodeLink(5, 0)}
+	e.Characterize(10_000)
+	r := e.Align(0, 1, 10, 500)
+	if !r.Converged {
+		t.Fatal("pre-alignment failed")
+	}
+	pStart, cStart := InitialAlignment(e, r.End, r.End+100*sim.Nanosecond)
+	spread := pStart - cStart
+	if spread < 0 {
+		spread = -spread
+	}
+	// Both must start within the jitter neighborhood (~15 cycles ≈ 17ns).
+	if spread > 20*sim.Nanosecond {
+		t.Fatalf("start spread = %v, want < 20ns", spread)
+	}
+}
+
+func TestInitialAlignmentOrderingEnforced(t *testing.T) {
+	devs := newDevices(t, 2, 6)
+	e := &Edge{Parent: devs[0], Child: devs[1], Link: intraNodeLink(6, 0)}
+	e.CharLatency = 217
+	defer func() {
+		if recover() == nil {
+			t.Error("child invoked after parent should panic")
+		}
+	}()
+	InitialAlignment(e, 100, 50)
+}
+
+func TestAlignProgramStartTree(t *testing.T) {
+	// 8-device star: all 8 should begin computation simultaneously.
+	devs := newDevices(t, 8, 8)
+	tree := BuildStar(devs, func(i int) *c2c.Link { return intraNodeLink(8, uint64(i)) }, 10_000)
+	ar := tree.Align(0, 2, 10, 500)
+	if !ar.Converged {
+		t.Fatal("alignment failed")
+	}
+	res := AlignProgramStart(tree, ar.End)
+	if len(res.Starts) != 8 {
+		t.Fatalf("starts for %d devices, want 8", len(res.Starts))
+	}
+	if res.Spread > 25*sim.Nanosecond {
+		t.Fatalf("start spread = %v, want < 25ns", res.Spread)
+	}
+	// Overhead should be on the order of (⌊L/period⌋+1)*h = 1 epoch
+	// (plus the one-epoch arming delay and boundary rounding).
+	if res.OverheadCycles > 4*Period {
+		t.Fatalf("overhead = %d cycles, want ≤ %d", res.OverheadCycles, 4*Period)
+	}
+}
+
+func TestAlignProgramStartChain(t *testing.T) {
+	// 4-hop chain: starts still simultaneous, overhead grows with height.
+	devs := newDevices(t, 5, 9)
+	tree := BuildChain(devs, func(i int) *c2c.Link { return intraNodeLink(9, uint64(i)) }, 10_000)
+	ar := tree.Align(0, 2, 10, 500)
+	if !ar.Converged {
+		t.Fatal("alignment failed")
+	}
+	res := AlignProgramStart(tree, ar.End)
+	if res.Spread > 30*sim.Nanosecond {
+		t.Fatalf("start spread = %v, want < 30ns", res.Spread)
+	}
+	// h=4 hops with L<period: at least 4 epochs of overhead.
+	if res.OverheadCycles < 4*Period {
+		t.Fatalf("overhead = %d cycles, want >= %d", res.OverheadCycles, 4*Period)
+	}
+}
+
+func TestRuntimeDeskewRealigns(t *testing.T) {
+	// Two devices with opposite drift, HACs kept aligned by background
+	// exchange. After a long compute region their *program positions*
+	// drift apart; RUNTIME_DESKEW at the same static program point must
+	// re-align the resume times.
+	devs := []*Device{
+		NewDevice(0, clock.New(+50, 0)),
+		NewDevice(1, clock.New(-50, 0)),
+	}
+	e := &Edge{Parent: devs[0], Child: devs[1], Link: intraNodeLink(10, 0)}
+	e.Characterize(10_000)
+	r := e.Align(0, 1, 10, 500)
+	if !r.Converged {
+		t.Fatal("alignment failed")
+	}
+	tree := &Tree{Root: devs[0], Levels: [][]*Edge{{e}}}
+
+	// Both start a compute region of programCycles local cycles at ~End.
+	const programCycles = 500_000 // ≈ 0.55ms; ±50ppm → ±25 cycles drift
+	start := r.End
+	// Background HAC exchange continues during the region.
+	BackgroundExchange(tree, start, programCycles/Period, 2)
+
+	reach0 := start + devs[0].Clock.CyclesToTime(programCycles)
+	reach1 := start + devs[1].Clock.CyclesToTime(programCycles)
+	skewBefore := reach1 - reach0
+	if skewBefore < 0 {
+		skewBefore = -skewBefore
+	}
+	if skewBefore < 40*sim.Nanosecond {
+		t.Fatalf("test premise broken: drift skew %v too small to observe", skewBefore)
+	}
+
+	resume0 := RuntimeDeskew(devs[0], reach0, 200)
+	resume1 := RuntimeDeskew(devs[1], reach1, 200)
+	skewAfter := resume1 - resume0
+	if skewAfter < 0 {
+		skewAfter = -skewAfter
+	}
+	if skewAfter > skewBefore/3 {
+		t.Fatalf("deskew did not realign: before=%v after=%v", skewBefore, skewAfter)
+	}
+	if skewAfter > 20*sim.Nanosecond {
+		t.Fatalf("post-deskew skew = %v, want within jitter neighborhood", skewAfter)
+	}
+}
+
+func TestRuntimeDeskewDirection(t *testing.T) {
+	// A device whose SAC is ahead of its HAC (fast local clock) must
+	// stall longer than target; one behind must stall less.
+	fast := NewDevice(0, clock.NewNominal())
+	fast.AdjustHAC(-10) // HAC behind SAC: δt = SAC−HAC = +10
+	resume := RuntimeDeskew(fast, 0, 100)
+	if want := fast.Clock.CyclesToTime(110); resume != want {
+		t.Fatalf("fast device resume = %v, want %v", resume, want)
+	}
+	slow := NewDevice(1, clock.NewNominal())
+	slow.AdjustHAC(+10) // δt = −10
+	resume = RuntimeDeskew(slow, 0, 100)
+	if want := slow.Clock.CyclesToTime(90); resume != want {
+		t.Fatalf("slow device resume = %v, want %v", resume, want)
+	}
+}
+
+func TestRuntimeDeskewRebasesSAC(t *testing.T) {
+	d := NewDevice(0, clock.NewNominal())
+	d.AdjustHAC(33)
+	RuntimeDeskew(d, 0, 100)
+	if d.Delta(12345) != 0 {
+		t.Fatal("RUNTIME_DESKEW must rebase the SAC onto the HAC")
+	}
+}
+
+func TestBuildChainValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("chain of one device should panic")
+		}
+	}()
+	BuildChain([]*Device{NewDevice(0, clock.NewNominal())}, nil, 1)
+}

@@ -1,0 +1,214 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assembler text format.
+//
+// One instruction per line. `;` starts a comment. A `.unit <name>` directive
+// selects the functional-unit stream receiving subsequent instructions;
+// without a directive, instructions go to their natural unit (UnitOf).
+// Stream-register operands are written sN; other operands are plain
+// integers. Signatures:
+//
+//	nop N                     ; idle N cycles
+//	sync | notify | deskew | halt
+//	runtime_deskew N          ; stall N ± δt
+//	transmit LINK
+//	send LINK sSRC
+//	recv LINK sDST
+//	read SLICE BANK OFF sDST
+//	write SLICE BANK OFF sSRC
+//	load_weights sSRC ROW
+//	matmul sSRC sDST ROWS
+//	vadd sA sB sDST           ; likewise vsub, vmul
+//	vrsqrt sSRC sDST
+//	vsplat sSRC LANE sDST
+//	vcopy sSRC sDST
+
+// Assemble parses assembler text into a program.
+func Assemble(text string) (*Program, error) {
+	p := &Program{}
+	unitOverride := -1
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == ".unit" {
+			if len(fields) != 2 {
+				return nil, asmErr(lineNo, raw, "want `.unit <name>`")
+			}
+			u, err := parseUnit(fields[1])
+			if err != nil {
+				return nil, asmErr(lineNo, raw, "%v", err)
+			}
+			unitOverride = int(u)
+			continue
+		}
+		in, err := parseInstruction(fields)
+		if err != nil {
+			return nil, asmErr(lineNo, raw, "%v", err)
+		}
+		if unitOverride >= 0 {
+			p.AppendTo(Unit(unitOverride), in)
+		} else {
+			p.Append(in)
+		}
+	}
+	return p, nil
+}
+
+func asmErr(lineNo int, line, format string, args ...interface{}) error {
+	return fmt.Errorf("isa: line %d %q: %s", lineNo+1, strings.TrimSpace(line), fmt.Sprintf(format, args...))
+}
+
+func parseUnit(s string) (Unit, error) {
+	for u, name := range unitNames {
+		if name == s {
+			return Unit(u), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown unit %q", s)
+}
+
+func opByName(s string) (Op, bool) {
+	for o, name := range opNames {
+		if name == s {
+			return Op(o), true
+		}
+	}
+	return 0, false
+}
+
+// operand parses either `sN` or a plain integer, returning the value.
+func operand(s string) (int64, error) {
+	s = strings.TrimPrefix(s, "s")
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad operand %q", s)
+	}
+	return v, nil
+}
+
+func parseInstruction(fields []string) (Instruction, error) {
+	op, ok := opByName(fields[0])
+	if !ok {
+		return Instruction{}, fmt.Errorf("unknown mnemonic %q", fields[0])
+	}
+	args := fields[1:]
+	vals := make([]int64, len(args))
+	for i, a := range args {
+		v, err := operand(a)
+		if err != nil {
+			return Instruction{}, err
+		}
+		vals[i] = v
+	}
+	need := func(n int) error {
+		if len(vals) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", op, n, len(vals))
+		}
+		return nil
+	}
+	in := Instruction{Op: op}
+	var err error
+	switch op {
+	case Sync, Notify, Deskew, Halt:
+		err = need(0)
+	case Nop, RuntimeDeskew:
+		if err = need(1); err == nil {
+			in.Imm = int32(vals[0])
+		}
+	case Transmit:
+		if err = need(1); err == nil {
+			in.A = uint16(vals[0])
+		}
+	case Send, Recv:
+		if err = need(2); err == nil {
+			in.A, in.B = uint16(vals[0]), uint16(vals[1])
+		}
+	case Read, Write:
+		if err = need(4); err == nil {
+			in.A, in.B, in.C = uint16(vals[0]), uint16(vals[1]), uint16(vals[2])
+			in.Imm = int32(vals[3])
+		}
+	case LoadWeights:
+		if err = need(2); err == nil {
+			in.A, in.B = uint16(vals[0]), uint16(vals[1])
+		}
+	case MatMul:
+		if err = need(3); err == nil {
+			in.A, in.B = uint16(vals[0]), uint16(vals[1])
+			in.Imm = int32(vals[2])
+		}
+	case VAdd, VSub, VMul, VMax:
+		if err = need(3); err == nil {
+			in.A, in.B, in.C = uint16(vals[0]), uint16(vals[1]), uint16(vals[2])
+		}
+	case VRsqrt, VCopy, VRelu, VExp:
+		if err = need(2); err == nil {
+			in.A, in.C = uint16(vals[0]), uint16(vals[1])
+		}
+	case VSplat, VScale:
+		if err = need(3); err == nil {
+			in.A, in.Imm, in.C = uint16(vals[0]), int32(vals[1]), uint16(vals[2])
+		}
+	default:
+		err = fmt.Errorf("mnemonic %q not assemblable", op)
+	}
+	if err != nil {
+		return Instruction{}, err
+	}
+	return in, nil
+}
+
+// Disassemble renders a program back to assembler text, grouped by unit.
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	for u := Unit(0); u < NumUnits; u++ {
+		if len(p.Streams[u]) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, ".unit %s\n", u)
+		for _, in := range p.Streams[u] {
+			b.WriteString(disasmOne(in))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func disasmOne(in Instruction) string {
+	switch in.Op {
+	case Sync, Notify, Deskew, Halt:
+		return in.Op.String()
+	case Nop, RuntimeDeskew:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case Transmit:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	case Send, Recv:
+		return fmt.Sprintf("%s %d s%d", in.Op, in.A, in.B)
+	case Read, Write:
+		return fmt.Sprintf("%s %d %d %d s%d", in.Op, in.A, in.B, in.C, in.Imm)
+	case LoadWeights:
+		return fmt.Sprintf("%s s%d %d", in.Op, in.A, in.B)
+	case MatMul:
+		return fmt.Sprintf("%s s%d s%d %d", in.Op, in.A, in.B, in.Imm)
+	case VAdd, VSub, VMul, VMax:
+		return fmt.Sprintf("%s s%d s%d s%d", in.Op, in.A, in.B, in.C)
+	case VRsqrt, VCopy, VRelu, VExp:
+		return fmt.Sprintf("%s s%d s%d", in.Op, in.A, in.C)
+	case VSplat, VScale:
+		return fmt.Sprintf("%s s%d %d s%d", in.Op, in.A, in.Imm, in.C)
+	default:
+		return fmt.Sprintf("; %v", in)
+	}
+}

@@ -1,0 +1,112 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary format.
+//
+// Each instruction encodes to a fixed 12-byte little-endian record:
+//
+//	byte 0     opcode
+//	byte 1     reserved (zero)
+//	bytes 2-3  A
+//	bytes 4-5  B
+//	bytes 6-7  C
+//	bytes 8-11 Imm (signed)
+//
+// A program encodes as:
+//
+//	bytes 0-3  magic "TSP1"
+//	byte  4    unit count (NumUnits)
+//	then per unit: uint32 instruction count, followed by the records.
+
+// InstrBytes is the size of one encoded instruction.
+const InstrBytes = 12
+
+var magic = [4]byte{'T', 'S', 'P', '1'}
+
+// EncodeInstruction appends the 12-byte record for in to dst.
+func EncodeInstruction(dst []byte, in Instruction) []byte {
+	var rec [InstrBytes]byte
+	rec[0] = byte(in.Op)
+	binary.LittleEndian.PutUint16(rec[2:], in.A)
+	binary.LittleEndian.PutUint16(rec[4:], in.B)
+	binary.LittleEndian.PutUint16(rec[6:], in.C)
+	binary.LittleEndian.PutUint32(rec[8:], uint32(in.Imm))
+	return append(dst, rec[:]...)
+}
+
+// DecodeInstruction decodes one record.
+func DecodeInstruction(src []byte) (Instruction, error) {
+	if len(src) < InstrBytes {
+		return Instruction{}, fmt.Errorf("isa: truncated instruction record (%d bytes)", len(src))
+	}
+	in := Instruction{
+		Op:  Op(src[0]),
+		A:   binary.LittleEndian.Uint16(src[2:]),
+		B:   binary.LittleEndian.Uint16(src[4:]),
+		C:   binary.LittleEndian.Uint16(src[6:]),
+		Imm: int32(binary.LittleEndian.Uint32(src[8:])),
+	}
+	if !in.Op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: invalid opcode %d", src[0])
+	}
+	if src[1] != 0 {
+		return Instruction{}, fmt.Errorf("isa: reserved byte must be zero, got %d", src[1])
+	}
+	return in, nil
+}
+
+// EncodeProgram serializes a full program.
+func EncodeProgram(p *Program) []byte {
+	out := append([]byte(nil), magic[:]...)
+	out = append(out, byte(NumUnits))
+	for u := Unit(0); u < NumUnits; u++ {
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(p.Streams[u])))
+		out = append(out, cnt[:]...)
+		for _, in := range p.Streams[u] {
+			out = EncodeInstruction(out, in)
+		}
+	}
+	return out
+}
+
+// DecodeProgram parses a serialized program.
+func DecodeProgram(src []byte) (*Program, error) {
+	if len(src) < 5 {
+		return nil, fmt.Errorf("isa: binary too short")
+	}
+	if [4]byte(src[:4]) != magic {
+		return nil, fmt.Errorf("isa: bad magic %q", src[:4])
+	}
+	if src[4] != byte(NumUnits) {
+		return nil, fmt.Errorf("isa: binary has %d units, this machine has %d", src[4], NumUnits)
+	}
+	pos := 5
+	p := &Program{}
+	for u := Unit(0); u < NumUnits; u++ {
+		if len(src[pos:]) < 4 {
+			return nil, fmt.Errorf("isa: truncated stream header for %v", u)
+		}
+		n := int(binary.LittleEndian.Uint32(src[pos:]))
+		pos += 4
+		if n > (len(src)-pos)/InstrBytes {
+			return nil, fmt.Errorf("isa: stream %v claims %d instructions beyond EOF", u, n)
+		}
+		for i := 0; i < n; i++ {
+			in, err := DecodeInstruction(src[pos:])
+			if err != nil {
+				return nil, fmt.Errorf("isa: stream %v instr %d: %w", u, i, err)
+			}
+			p.Streams[u] = append(p.Streams[u], in)
+			pos += InstrBytes
+		}
+	}
+	if pos != len(src) {
+		return nil, fmt.Errorf("isa: %d trailing bytes", len(src)-pos)
+	}
+	return p, nil
+}

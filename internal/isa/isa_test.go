@@ -1,0 +1,238 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	if Sync.String() != "sync" || RuntimeDeskew.String() != "runtime_deskew" {
+		t.Fatal("op name mismatch")
+	}
+	if !strings.HasPrefix(Op(200).String(), "op(") {
+		t.Fatal("unknown op should format numerically")
+	}
+	if Op(200).Valid() {
+		t.Fatal("op 200 should be invalid")
+	}
+}
+
+func TestUnitOfCoversAllOps(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		u := UnitOf(op)
+		if u >= NumUnits {
+			t.Fatalf("%v maps to bad unit %v", op, u)
+		}
+	}
+	// Table 1 instructions land on the units the paper describes.
+	if UnitOf(Notify) != ICU || UnitOf(Deskew) != ICU {
+		t.Fatal("sync instructions belong to the ICU")
+	}
+	if UnitOf(Transmit) != C2C || UnitOf(Recv) != C2C {
+		t.Fatal("link instructions belong to the C2C unit")
+	}
+	if UnitOf(MatMul) != MXM || UnitOf(VAdd) != VXM {
+		t.Fatal("compute op unit mismatch")
+	}
+}
+
+func TestLatencyDeterministicAndPositive(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		in := Instruction{Op: op, Imm: 7}
+		l1, l2 := Latency(in), Latency(in)
+		if l1 != l2 {
+			t.Fatalf("%v latency not deterministic", op)
+		}
+		if l1 < 1 {
+			t.Fatalf("%v latency %d < 1", op, l1)
+		}
+	}
+	// MatMul latency scales with rows.
+	if Latency(Instruction{Op: MatMul, Imm: 160}) != 160 {
+		t.Fatal("matmul latency should equal row count")
+	}
+	if Latency(Instruction{Op: Nop, Imm: 42}) != 42 {
+		t.Fatal("nop latency should equal its count")
+	}
+	if Latency(Instruction{Op: Nop, Imm: 0}) != 1 {
+		t.Fatal("degenerate nop should still take a cycle")
+	}
+}
+
+func TestInstructionEncodeDecodeRoundTrip(t *testing.T) {
+	if err := quick.Check(func(op8 uint8, a, b, c uint16, imm int32) bool {
+		in := Instruction{Op: Op(op8 % uint8(numOps)), A: a, B: b, C: c, Imm: imm}
+		buf := EncodeInstruction(nil, in)
+		if len(buf) != InstrBytes {
+			return false
+		}
+		got, err := DecodeInstruction(buf)
+		return err == nil && got == in
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeInstructionErrors(t *testing.T) {
+	if _, err := DecodeInstruction(make([]byte, 5)); err == nil {
+		t.Fatal("short record should error")
+	}
+	bad := EncodeInstruction(nil, Instruction{Op: Sync})
+	bad[0] = 250
+	if _, err := DecodeInstruction(bad); err == nil {
+		t.Fatal("invalid opcode should error")
+	}
+	bad2 := EncodeInstruction(nil, Instruction{Op: Sync})
+	bad2[1] = 9
+	if _, err := DecodeInstruction(bad2); err == nil {
+		t.Fatal("nonzero reserved byte should error")
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	p := &Program{}
+	p.Append(Instruction{Op: Read, A: 3, B: 1, C: 100, Imm: 4})
+	p.Append(Instruction{Op: MatMul, A: 4, B: 5, Imm: 160})
+	p.Append(Instruction{Op: VAdd, A: 1, B: 2, C: 3})
+	p.Append(Instruction{Op: Send, A: 0, B: 3})
+	p.Append(Instruction{Op: Halt})
+	p.AppendTo(MXM, Instruction{Op: Nop, Imm: 10})
+
+	bin := EncodeProgram(p)
+	got, err := DecodeProgram(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != p.Len() {
+		t.Fatalf("decoded %d instructions, want %d", got.Len(), p.Len())
+	}
+	for u := Unit(0); u < NumUnits; u++ {
+		if len(got.Streams[u]) != len(p.Streams[u]) {
+			t.Fatalf("unit %v: %d vs %d", u, len(got.Streams[u]), len(p.Streams[u]))
+		}
+		for i := range got.Streams[u] {
+			if got.Streams[u][i] != p.Streams[u][i] {
+				t.Fatalf("unit %v instr %d mismatch", u, i)
+			}
+		}
+	}
+}
+
+func TestDecodeProgramErrors(t *testing.T) {
+	if _, err := DecodeProgram([]byte("TS")); err == nil {
+		t.Fatal("short binary should error")
+	}
+	if _, err := DecodeProgram([]byte("XXXX\x06")); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	if _, err := DecodeProgram([]byte("TSP1\x02")); err == nil {
+		t.Fatal("wrong unit count should error")
+	}
+	good := EncodeProgram(&Program{})
+	if _, err := DecodeProgram(append(good, 0xff)); err == nil {
+		t.Fatal("trailing bytes should error")
+	}
+	// Claimed count beyond EOF.
+	trunc := EncodeProgram(&Program{})
+	trunc[5] = 200 // ICU stream claims 200 instructions, none present
+	if _, err := DecodeProgram(trunc); err == nil {
+		t.Fatal("overclaimed stream should error")
+	}
+}
+
+func TestAssembleBasics(t *testing.T) {
+	src := `
+; a tiny single-chip program
+read 3 1 100 s4      ; load a vector
+vcopy s4 s5
+vadd s4 s5 s6
+matmul s6 s7 160
+send 0 s7
+deskew
+halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Streams[MEM]) != 1 || len(p.Streams[VXM]) != 2 ||
+		len(p.Streams[MXM]) != 1 || len(p.Streams[C2C]) != 1 || len(p.Streams[ICU]) != 2 {
+		t.Fatalf("stream shapes wrong: %+v", p)
+	}
+	if p.Streams[MXM][0].Imm != 160 {
+		t.Fatal("matmul rows not parsed")
+	}
+}
+
+func TestAssembleUnitDirective(t *testing.T) {
+	src := `
+.unit mxm
+nop 50
+.unit vxm
+nop 3
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Streams[MXM]) != 1 || p.Streams[MXM][0].Imm != 50 {
+		t.Fatal("nop not routed to mxm")
+	}
+	if len(p.Streams[VXM]) != 1 {
+		t.Fatal("nop not routed to vxm")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus_op 1 2",
+		"vadd s1 s2",          // wrong arity
+		"read 1 2 3",          // wrong arity
+		".unit warpdrive",     // unknown unit
+		".unit",               // missing name
+		"nop abc",             // bad operand
+		"runtime_deskew s1 2", // wrong arity
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	src := `read 0 0 0 s1
+read 0 1 1 s2
+vadd s1 s2 s3
+vsub s1 s2 s4
+vmul s3 s4 s5
+vrsqrt s5 s6
+vsplat s6 0 s7
+vcopy s7 s8
+load_weights s8 12
+matmul s1 s9 320
+send 3 s9
+recv 2 s10
+transmit 1
+write 43 1 4095 s10
+nop 9
+runtime_deskew 200
+sync
+deskew
+notify
+halt
+`
+	p1, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(p1)
+	p2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v\n%s", err, text)
+	}
+	if EncodeProgram(p1) == nil || string(EncodeProgram(p1)) != string(EncodeProgram(p2)) {
+		t.Fatalf("asm→disasm→asm not a fixed point:\n%s", text)
+	}
+}

@@ -1,0 +1,205 @@
+// Package mem models the TSP's on-chip SRAM and the system's global shared
+// address space (paper Fig 3).
+//
+// Each chip holds 220 MiB of SRAM organized as 2 hemispheres × 44 slices ×
+// 2 banks × 4096 addresses, where each address names one 320-byte vector.
+// The system's global memory is this SRAM replicated per device and
+// addressed as a rank-5 tensor [Device, Hemisphere, Slice, Bank, Offset]:
+// logically shared, physically distributed, with no coherence protocol —
+// the compiler's total ordering of sends and receives *is* the consistency
+// model.
+//
+// Every 64-bit word is SECDED-protected (§4.5): single-bit upsets are
+// corrected on read, double-bit upsets are detected and poison the access.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+)
+
+// Geometry constants (Fig 3).
+const (
+	Hemispheres    = 2
+	Slices         = 44 // per hemisphere
+	Banks          = 2  // per slice
+	Addresses      = 4096
+	VectorBytes    = 320
+	VectorsPerChip = Hemispheres * Slices * Banks * Addresses
+	// ChipBytes is 220 MiB exactly.
+	ChipBytes = VectorsPerChip * VectorBytes
+)
+
+// Addr names one vector within a chip.
+type Addr struct {
+	Hemisphere int
+	Slice      int
+	Bank       int
+	Offset     int
+}
+
+// Valid reports whether every coordinate is in range.
+func (a Addr) Valid() bool {
+	return a.Hemisphere >= 0 && a.Hemisphere < Hemispheres &&
+		a.Slice >= 0 && a.Slice < Slices &&
+		a.Bank >= 0 && a.Bank < Banks &&
+		a.Offset >= 0 && a.Offset < Addresses
+}
+
+// Linear returns the flat vector index of the address.
+func (a Addr) Linear() int {
+	return ((a.Hemisphere*Slices+a.Slice)*Banks+a.Bank)*Addresses + a.Offset
+}
+
+// AddrOf is the inverse of Linear.
+func AddrOf(linear int) Addr {
+	if linear < 0 || linear >= VectorsPerChip {
+		panic(fmt.Sprintf("mem: linear index %d out of range", linear))
+	}
+	off := linear % Addresses
+	linear /= Addresses
+	bank := linear % Banks
+	linear /= Banks
+	slice := linear % Slices
+	hemi := linear / Slices
+	return Addr{Hemisphere: hemi, Slice: slice, Bank: bank, Offset: off}
+}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("[h%d s%d b%d +%d]", a.Hemisphere, a.Slice, a.Bank, a.Offset)
+}
+
+// storedVector is one SECDED-protected 320-byte vector.
+type storedVector struct {
+	words [VectorBytes / 8]ecc.Word72
+}
+
+// SRAM is one chip's memory. Vectors are allocated lazily: a full chip is
+// 220 MiB and large simulated systems would not fit in host memory eagerly.
+// Unwritten vectors read as zero.
+type SRAM struct {
+	vecs map[int]*storedVector
+	// CorrectedSBEs counts single-bit errors corrected on read.
+	CorrectedSBEs int64
+	// DetectedMBEs counts uncorrectable errors surfaced on read.
+	DetectedMBEs int64
+}
+
+// NewSRAM returns an empty (all-zero) chip memory.
+func NewSRAM() *SRAM { return &SRAM{vecs: make(map[int]*storedVector)} }
+
+// Write stores a 320-byte vector at addr.
+func (m *SRAM) Write(addr Addr, data []byte) {
+	if !addr.Valid() {
+		panic(fmt.Sprintf("mem: write to invalid address %v", addr))
+	}
+	if len(data) != VectorBytes {
+		panic(fmt.Sprintf("mem: vector must be %d bytes, got %d", VectorBytes, len(data)))
+	}
+	v := &storedVector{}
+	for w := range v.words {
+		var d uint64
+		for b := 0; b < 8; b++ {
+			d |= uint64(data[w*8+b]) << uint(8*b)
+		}
+		v.words[w] = ecc.Encode(d)
+	}
+	m.vecs[addr.Linear()] = v
+}
+
+// Read fetches the vector at addr. ok is false when a detected-uncorrectable
+// error poisons the data; single-bit errors are corrected transparently.
+func (m *SRAM) Read(addr Addr) (data []byte, ok bool) {
+	if !addr.Valid() {
+		panic(fmt.Sprintf("mem: read from invalid address %v", addr))
+	}
+	data = make([]byte, VectorBytes)
+	v, present := m.vecs[addr.Linear()]
+	if !present {
+		return data, true
+	}
+	ok = true
+	for w := range v.words {
+		d, res := ecc.Decode(v.words[w])
+		switch res {
+		case ecc.CorrectedSBE:
+			m.CorrectedSBEs++
+			// Scrub: rewrite the corrected word.
+			v.words[w] = ecc.Encode(d)
+		case ecc.DetectedMBE:
+			m.DetectedMBEs++
+			ok = false
+		}
+		for b := 0; b < 8; b++ {
+			data[w*8+b] = byte(d >> uint(8*b))
+		}
+	}
+	return data, ok
+}
+
+// FlipBit injects a single-bit upset into the stored vector at addr; bit
+// indexes the vector's 2560 data bits. Writing to an unwritten vector
+// materializes it first (as zeros) so the upset has substance to corrupt.
+func (m *SRAM) FlipBit(addr Addr, bit int) {
+	if bit < 0 || bit >= VectorBytes*8 {
+		panic("mem: bit index out of range")
+	}
+	v, present := m.vecs[addr.Linear()]
+	if !present {
+		m.Write(addr, make([]byte, VectorBytes))
+		v = m.vecs[addr.Linear()]
+	}
+	v.words[bit/64] = ecc.FlipDataBit(v.words[bit/64], bit%64)
+}
+
+// VectorsResident reports how many vectors have been materialized.
+func (m *SRAM) VectorsResident() int { return len(m.vecs) }
+
+// GlobalAddr names one vector anywhere in the system: the rank-5 tensor
+// [Device, Hemisphere, Slice, Bank, Offset] of Fig 3.
+type GlobalAddr struct {
+	Device int
+	Addr
+}
+
+func (g GlobalAddr) String() string {
+	return fmt.Sprintf("[d%d h%d s%d b%d +%d]", g.Device, g.Hemisphere, g.Slice, g.Bank, g.Offset)
+}
+
+// Global is the logically shared, physically distributed memory of an
+// N-device system.
+type Global struct {
+	chips []*SRAM
+}
+
+// NewGlobal builds the global memory for n devices.
+func NewGlobal(n int) *Global {
+	g := &Global{chips: make([]*SRAM, n)}
+	for i := range g.chips {
+		g.chips[i] = NewSRAM()
+	}
+	return g
+}
+
+// Devices returns the number of devices.
+func (g *Global) Devices() int { return len(g.chips) }
+
+// Chip returns device i's SRAM.
+func (g *Global) Chip(i int) *SRAM { return g.chips[i] }
+
+// Read fetches a vector from the global address space.
+func (g *Global) Read(a GlobalAddr) ([]byte, bool) {
+	return g.chips[a.Device].Read(a.Addr)
+}
+
+// Write stores a vector into the global address space.
+func (g *Global) Write(a GlobalAddr, data []byte) {
+	g.chips[a.Device].Write(a.Addr, data)
+}
+
+// CapacityBytes returns the total global memory capacity: 220 MiB per
+// device, limited only by the network's scale.
+func (g *Global) CapacityBytes() int64 {
+	return int64(len(g.chips)) * ChipBytes
+}

@@ -1,0 +1,228 @@
+// Package runtime is the multi-chip execution layer of the software stack
+// (Fig 12): it emplaces per-chip binaries, binds the chips' C2C units to
+// the topology's links, runs the whole cluster in globally time-ordered
+// lockstep (the execution the HAC machinery of internal/hac licenses), and
+// implements the paper's fault strategy — software replay of an inference
+// on detected-uncorrectable errors, and N+1 hot-spare node failover
+// (§4.5).
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/c2c"
+	"repro/internal/isa"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/tsp"
+)
+
+// Cluster executes one program binary per TSP over the constructed
+// topology. Chip link index i is the i-th entry of the topology's Out()
+// adjacency for that TSP, a stable compile-time numbering shared by the
+// scheduler and the hardware.
+type Cluster struct {
+	sys   *topo.System
+	chips []*tsp.Chip
+	posts []*mailbox
+
+	// Link error process (§4.5): every delivered vector passes through
+	// the frame FEC; single-bit errors are corrected in situ without
+	// disturbing timing, uncorrectable errors are flagged for software
+	// replay. links[l] lazily materializes the per-link error model.
+	ber       float64
+	errRNG    *sim.RNG
+	links     map[topo.LinkID]*c2c.Link
+	Corrected int64
+	MBEs      int64
+}
+
+// mailbox is one chip's inbound message queues, per local link index.
+type mailbox struct {
+	queues map[int][]envelope
+}
+
+type envelope struct {
+	v       tsp.Vector
+	arrival int64
+}
+
+// chipC2C adapts the cluster's mailboxes to the tsp.C2C interface for one
+// chip.
+type chipC2C struct {
+	cl *Cluster
+	id topo.TSPID
+}
+
+func (c *chipC2C) Send(link int, v tsp.Vector, cycle int64) {
+	c.cl.deliver(c.id, link, v, cycle)
+}
+
+func (c *chipC2C) Transmit(link int, cycle int64) {
+	// The alignment notification is a vector like any other.
+	c.cl.deliver(c.id, link, tsp.Vector{}, cycle)
+}
+
+func (c *chipC2C) Recv(link int, cycle int64) (tsp.Vector, bool) {
+	return c.cl.take(c.id, link, cycle)
+}
+
+// New builds a cluster executing programs[t] on TSP t. Programs may be nil
+// for idle chips.
+func New(sys *topo.System, programs []*isa.Program) (*Cluster, error) {
+	if len(programs) > sys.NumTSPs() {
+		return nil, fmt.Errorf("runtime: %d programs for %d TSPs", len(programs), sys.NumTSPs())
+	}
+	cl := &Cluster{sys: sys}
+	for t := 0; t < sys.NumTSPs(); t++ {
+		var prog *isa.Program
+		if t < len(programs) && programs[t] != nil {
+			prog = programs[t]
+		} else {
+			prog = &isa.Program{}
+		}
+		chip := tsp.New(t, prog, &chipC2C{cl: cl, id: topo.TSPID(t)})
+		cl.chips = append(cl.chips, chip)
+		cl.posts = append(cl.posts, &mailbox{queues: map[int][]envelope{}})
+	}
+	return cl, nil
+}
+
+// Chip returns TSP t's chip model (for loading data and reading results).
+func (cl *Cluster) Chip(t int) *tsp.Chip { return cl.chips[t] }
+
+// SetBitErrorRate enables the link error process: every delivered vector
+// is FEC-encoded, corrupted per-bit with probability ber, and decoded on
+// receipt. Corrections are silent and timing-neutral; uncorrectable errors
+// increment MBEs and fail Run (the runtime's cue to replay, §4.5).
+func (cl *Cluster) SetBitErrorRate(ber float64, seed uint64) {
+	cl.ber = ber
+	cl.errRNG = sim.NewRNG(seed)
+	cl.links = make(map[topo.LinkID]*c2c.Link)
+}
+
+// deliver routes a vector from srcChip's local link index onto the peer's
+// inbound queue, arriving one deterministic hop later.
+func (cl *Cluster) deliver(src topo.TSPID, link int, v tsp.Vector, cycle int64) {
+	out := cl.sys.Out(src)
+	if link < 0 || link >= len(out) {
+		panic(fmt.Sprintf("runtime: chip %d has no link %d", src, link))
+	}
+	l := cl.sys.Link(out[link])
+	if cl.ber > 0 {
+		phys, ok := cl.links[l.ID]
+		if !ok {
+			cfg := l.Cable
+			cfg.BitErrorRate = cl.ber
+			phys = c2c.New(cfg, cl.errRNG.Fork(uint64(l.ID)))
+			cl.links[l.ID] = phys
+		}
+		var frame c2c.Frame
+		frame.Payload = [c2c.VectorBytes]byte(v)
+		rx, corrected, mbe := c2c.Receive(phys.Transmit(frame))
+		cl.Corrected += int64(corrected)
+		if mbe {
+			cl.MBEs++
+		}
+		v = tsp.Vector(rx.Payload)
+	}
+	peer := l.To
+	// The peer addresses this physical cable by its own local index of
+	// the reverse link.
+	rev := l.Reverse
+	peerIdx := -1
+	for i, lid := range cl.sys.Out(peer) {
+		if lid == rev {
+			peerIdx = i
+			break
+		}
+	}
+	if peerIdx < 0 {
+		panic("runtime: reverse link missing from peer adjacency")
+	}
+	mb := cl.posts[peer]
+	mb.queues[peerIdx] = append(mb.queues[peerIdx], envelope{v: v, arrival: cycle + route.HopCycles})
+}
+
+// take pops the oldest vector that has arrived on the link by the given
+// cycle.
+func (cl *Cluster) take(dst topo.TSPID, link int, cycle int64) (tsp.Vector, bool) {
+	mb := cl.posts[dst]
+	q := mb.queues[link]
+	if len(q) == 0 || q[0].arrival > cycle {
+		return tsp.Vector{}, false
+	}
+	v := q[0].v
+	mb.queues[link] = q[1:]
+	return v, true
+}
+
+// Run executes every chip to completion in globally time-ordered lockstep:
+// at each step the chip with the earliest pending instruction issues. This
+// is exactly the total order the SSN compiler reasoned about, so a correct
+// schedule never underflows a receiver. It returns the global finish cycle.
+func (cl *Cluster) Run() (int64, error) {
+	for {
+		best := -1
+		var bestT int64
+		for i, chip := range cl.chips {
+			if chip.Fault() != nil {
+				return chip.FinishCycle(), chip.Fault()
+			}
+			if _, t, ok := chip.NextIssue(); ok {
+				if best < 0 || t < bestT {
+					best, bestT = i, t
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cl.chips[best].Step()
+		if f := cl.chips[best].Fault(); f != nil {
+			return cl.chips[best].FinishCycle(), f
+		}
+	}
+	var finish int64
+	for _, chip := range cl.chips {
+		if !chip.Done() {
+			if f := chip.Fault(); f != nil {
+				return chip.FinishCycle(), f
+			}
+			return chip.FinishCycle(), fmt.Errorf("runtime: chip %d wedged (fully parked)", chip.ID)
+		}
+		if chip.FinishCycle() > finish {
+			finish = chip.FinishCycle()
+		}
+	}
+	if cl.MBEs > 0 {
+		// Detected-uncorrectable link errors were flagged in situ; the
+		// results cannot be trusted and the runtime must replay (§4.5).
+		return finish, fmt.Errorf("runtime: %d uncorrectable link errors detected; replay required", cl.MBEs)
+	}
+	return finish, nil
+}
+
+// RunWithReplay implements §4.5's software-replay strategy: build the
+// cluster, run the inference, and on a detected-uncorrectable fault retire
+// the attempt and replay from scratch (the runtime re-emplaces state on
+// known-good hardware). build is called once per attempt so each replay
+// starts from clean state; it may also repair/replace the faulty
+// resources. Returns the finish cycle, the number of attempts used, and
+// the last error if all attempts failed.
+func RunWithReplay(build func(attempt int) (*Cluster, error), maxAttempts int) (int64, int, error) {
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		cl, err := build(attempt)
+		if err != nil {
+			return 0, attempt, err
+		}
+		finish, err := cl.Run()
+		if err == nil {
+			return finish, attempt, nil
+		}
+		lastErr = err
+	}
+	return 0, maxAttempts, fmt.Errorf("runtime: replay budget exhausted: %w", lastErr)
+}

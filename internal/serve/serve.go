@@ -1,0 +1,117 @@
+// Package serve simulates inference serving on a multi-TSP deployment: a
+// stream of requests arrives at the host, each inference occupies the
+// deterministic pipeline for its compiled period, and completion times
+// follow from queueing — not from execution variance, because the machine
+// itself has none (§5.4: the histogram's spread is all host-side).
+//
+// The simulator is deterministic given a seed: arrivals are a Poisson-like
+// process drawn from a SplitMix64 stream, service is the compiled constant.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Config describes a serving scenario.
+type Config struct {
+	// ServiceUS is one inference's deterministic service time (the
+	// compiled pipeline period for throughput, e.g. a BERT deployment's
+	// stage period).
+	ServiceUS float64
+	// PipelineDepth is how many inferences can be in flight (one per
+	// pipeline stage).
+	PipelineDepth int
+	// ArrivalRatePerSec is the offered load.
+	ArrivalRatePerSec float64
+	// Requests is the number of simulated requests.
+	Requests int
+	// Seed drives the arrival process.
+	Seed uint64
+}
+
+// Result summarizes a serving run.
+type Result struct {
+	Requests   int
+	Throughput float64 // completed/sec
+	// Latency percentiles in µs (queueing + service).
+	P50US, P99US, MaxUS float64
+	// Utilization is busy time / wall time of the pipeline's bottleneck
+	// stage.
+	Utilization float64
+}
+
+// Run simulates the scenario.
+func Run(cfg Config) (Result, error) {
+	if cfg.ServiceUS <= 0 || cfg.PipelineDepth < 1 || cfg.Requests < 1 || cfg.ArrivalRatePerSec <= 0 {
+		return Result{}, fmt.Errorf("serve: invalid config %+v", cfg)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	meanGapUS := 1e6 / cfg.ArrivalRatePerSec
+
+	// The pipeline admits a new inference every ServiceUS (initiation
+	// interval), with PipelineDepth in flight; a request's latency is
+	// wait-for-slot + PipelineDepth·ServiceUS (fill) — modeled as a
+	// single server with service = ServiceUS and a fixed residency.
+	var lat []float64
+	arrival := 0.0
+	slotFree := 0.0
+	busy := 0.0
+	var lastDone float64
+	for i := 0; i < cfg.Requests; i++ {
+		// Exponential inter-arrival via inverse transform.
+		u := rng.Float64()
+		if u <= 0 {
+			u = 1e-12
+		}
+		arrival += -math.Log(u) * meanGapUS
+		start := arrival
+		if slotFree > start {
+			start = slotFree
+		}
+		slotFree = start + cfg.ServiceUS
+		busy += cfg.ServiceUS
+		done := start + float64(cfg.PipelineDepth)*cfg.ServiceUS
+		lat = append(lat, done-arrival)
+		if done > lastDone {
+			lastDone = done
+		}
+	}
+	sort.Float64s(lat)
+	pct := func(p float64) float64 {
+		idx := int(p / 100 * float64(len(lat)-1))
+		return lat[idx]
+	}
+	return Result{
+		Requests:    cfg.Requests,
+		Throughput:  float64(cfg.Requests) / (lastDone / 1e6),
+		P50US:       pct(50),
+		P99US:       pct(99),
+		MaxUS:       lat[len(lat)-1],
+		Utilization: busy / lastDone,
+	}, nil
+}
+
+// SaturationSweep runs the scenario across load levels (fractions of the
+// pipeline's capacity 1/ServiceUS) and returns one Result per level.
+func SaturationSweep(serviceUS float64, depth int, loads []float64, requests int, seed uint64) ([]Result, error) {
+	capacity := 1e6 / serviceUS
+	var out []Result
+	for _, l := range loads {
+		r, err := Run(Config{
+			ServiceUS:         serviceUS,
+			PipelineDepth:     depth,
+			ArrivalRatePerSec: l * capacity,
+			Requests:          requests,
+			Seed:              seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

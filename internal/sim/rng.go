@@ -1,0 +1,69 @@
+package sim
+
+// RNG is a deterministic SplitMix64 pseudo-random generator.
+//
+// The simulation must be reproducible run-to-run, so every stochastic model
+// component (link jitter, clock drift draws, injected bit errors) owns a
+// private RNG stream seeded from a stable identifier. SplitMix64 is tiny,
+// fast, has a full 2^64 period per stream, and — unlike math/rand's global
+// source — cannot be perturbed by unrelated code.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with the given value. Distinct seeds give
+// statistically independent streams.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Fork derives an independent child stream from this one, keyed by id. The
+// parent's state is not advanced, so forking is order-independent.
+func (r *RNG) Fork(id uint64) *RNG {
+	mixed := r.state ^ (id+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
+	return &RNG{state: mixed}
+}
+
+// Uint64 returns the next 64 uniform random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns an approximately standard-normal variate using the sum
+// of 12 uniforms (Irwin–Hall). The tails are clipped at ±6σ, which is exactly
+// what we want for link-jitter models: real serdes jitter is bounded, and
+// unbounded Gaussian tails would (very rarely) break schedule-legality
+// assertions that hardware guard-bands make impossible.
+func (r *RNG) NormFloat64() float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += r.Float64()
+	}
+	return s - 6
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }

@@ -1,0 +1,150 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All model time is kept as an integer number of picoseconds so that the
+// simulation is exactly reproducible across runs and platforms: there is no
+// floating-point accumulation anywhere on the time axis. Events with equal
+// timestamps are ordered by a monotonically increasing sequence number, which
+// gives the event queue a total order and makes every run bit-identical.
+//
+// The kernel is intentionally single-threaded. Determinism — the property the
+// reproduced paper is built around — is far easier to guarantee (and to test)
+// when the simulated machine is advanced by one totally ordered event loop.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in integer picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds returns the time as a float64 nanosecond count (for reporting
+// only; never used to drive the simulation).
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns the time as float64 microseconds (reporting only).
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < 10*Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < 10*Microsecond:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	case t < 10*Millisecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	default:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	}
+}
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64
+	fire func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulation engine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsFired reports how many events have been executed.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// a deterministic model must never rewrite history.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fire: fn})
+}
+
+// After schedules fn to run d picoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Halt stops the run loop after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events until the queue drains or Halt is called.
+// It returns the final simulated time.
+func (e *Engine) Run() Time {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.fired++
+		ev.fire()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock is advanced to the deadline.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		if e.queue[0].at > deadline {
+			break
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.fired++
+		ev.fire()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*Nanosecond, func() { order = append(order, 3) })
+	e.At(10*Nanosecond, func() { order = append(order, 1) })
+	e.At(20*Nanosecond, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30*Nanosecond {
+		t.Fatalf("end time = %v, want 30ns", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineTiesBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 16; i++ {
+		i := i
+		e.At(5*Nanosecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("tie-break order = %v; want FIFO", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.After(Nanosecond, tick)
+		}
+	}
+	e.At(0, tick)
+	end := e.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if end != 99*Nanosecond {
+		t.Fatalf("end = %v, want 99ns", end)
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*Nanosecond, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Nanosecond, func() {
+			fired++
+			if fired == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3 (halt should stop the loop)", fired)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Microsecond, func() { fired++ })
+	}
+	now := e.RunUntil(5 * Microsecond)
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+	if now != 5*Microsecond {
+		t.Fatalf("now = %v, want 5us", now)
+	}
+	// Advancing to an empty region still moves the clock.
+	now = e.RunUntil(20 * Microsecond)
+	if fired != 10 || now != 20*Microsecond {
+		t.Fatalf("fired=%d now=%v, want 10, 20us", fired, now)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{2500 * Picosecond, "2500ps"},
+		{15 * Nanosecond, "15.000ns"},
+		{722 * Nanosecond, "722.000ns"},
+		{13 * Microsecond, "13.000us"},
+		{1300 * Microsecond, "1300.000us"},
+		{25 * Millisecond, "25.000ms"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r := NewRNG(7)
+	c1 := r.Fork(1)
+	c2 := r.Fork(2)
+	c1again := r.Fork(1)
+	if c1.Uint64() != c1again.Uint64() {
+		t.Fatal("Fork with the same id should yield the same stream")
+	}
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("Fork with different ids should differ (collision extremely unlikely)")
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(123)
+	const n = 200000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		buckets[int(f*10)]++
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %f, want ~0.5", mean)
+	}
+	for i, b := range buckets {
+		if b < n/10-n/50 || b > n/10+n/50 {
+			t.Fatalf("bucket %d count %d too far from %d", i, b, n/10)
+		}
+	}
+}
+
+func TestRNGNormal(t *testing.T) {
+	r := NewRNG(99)
+	const n = 100000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		if x < -6 || x > 6 {
+			t.Fatalf("normal variate %f outside clipped range", x)
+		}
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean = %f, want ~0", mean)
+	}
+	if math.Abs(std-1) > 0.02 {
+		t.Fatalf("std = %f, want ~1", std)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	if err := quick.Check(func(seed uint64, n16 uint16) bool {
+		n := int(n16%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+// Property: replaying an identical event program yields an identical trace.
+func TestEngineReplayDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		r := NewRNG(2024)
+		var trace []Time
+		var step func()
+		step = func() {
+			trace = append(trace, e.Now())
+			if len(trace) < 500 {
+				e.After(Time(r.Intn(1000)+1)*Nanosecond, step)
+			}
+		}
+		e.At(0, step)
+		e.Run()
+		return trace
+	}
+	t1, t2 := run(), run()
+	if len(t1) != len(t2) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, t1[i], t2[i])
+		}
+	}
+}

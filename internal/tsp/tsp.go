@@ -1,0 +1,480 @@
+// Package tsp models a single Tensor Streaming Processor as the paper's
+// multiprocessor sees it: a set of statically scheduled functional-unit
+// instruction streams (ICU, MEM, VXM, MXM, SXM, C2C) operating on stream
+// registers and 220 MiB of SRAM, with fully deterministic instruction
+// timing.
+//
+// The model is both *functional* and *timing*: instructions move real data
+// (so distributed kernels computed across simulated chips produce checkable
+// numerical results) and advance per-unit cycle cursors with the fixed
+// latencies of isa.Latency (so end-to-end cycle counts are meaningful).
+//
+// Data representation: a vector is 320 bytes (the architectural flit). The
+// vector ALUs interpret a vector as 80 little-endian float32 lanes. The real
+// chip computes FP16/INT8 at 160/320 lanes per vector; we carry float32 for
+// numerical transparency and keep the paper's throughput constants in the
+// analytic performance models (internal/workloads), which is where
+// lane-count fidelity matters.
+package tsp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Architectural constants.
+const (
+	// VectorBytes is the architectural vector size.
+	VectorBytes = mem.VectorBytes
+	// FloatLanes is the number of float32 lanes a vector carries in this
+	// model.
+	FloatLanes = VectorBytes / 4
+	// NumStreams is the number of stream registers.
+	NumStreams = 64
+	// WeightRows is the depth of the MXM weight buffer.
+	WeightRows = 160
+	// MaxLinks is the number of C2C links per chip (7 local + 4 global).
+	MaxLinks = 11
+	// EpochCycles is the HAC epoch (hac.Period); DESKEW aligns to its
+	// boundaries.
+	EpochCycles = 252
+	// NotifyLatency is the fixed propagation delay of the NOTIFY global
+	// control signal.
+	NotifyLatency = 4
+)
+
+// Vector is one 320-byte architectural vector.
+type Vector [VectorBytes]byte
+
+// Floats decodes the vector's 80 float32 lanes.
+func (v *Vector) Floats() [FloatLanes]float32 {
+	var out [FloatLanes]float32
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(v[i*4:]))
+	}
+	return out
+}
+
+// SetFloats encodes 80 float32 lanes into the vector.
+func (v *Vector) SetFloats(f [FloatLanes]float32) {
+	for i, x := range f {
+		binary.LittleEndian.PutUint32(v[i*4:], math.Float32bits(x))
+	}
+}
+
+// VectorOf builds a vector from a float slice (up to 80 lanes; the rest
+// zero).
+func VectorOf(f []float32) Vector {
+	var lanes [FloatLanes]float32
+	copy(lanes[:], f)
+	var v Vector
+	v.SetFloats(lanes)
+	return v
+}
+
+// C2C is the chip's window onto its links. The multi-chip runtime provides
+// an implementation that moves vectors between chips with the fabric's
+// deterministic latency; single-chip tests can use a loopback or nil-like
+// stub.
+type C2C interface {
+	// Send transmits the vector on the link at the given local cycle.
+	Send(link int, v Vector, cycle int64)
+	// Recv returns the vector that the schedule guarantees has arrived
+	// on the link by the given cycle. ok=false reports a receiver
+	// underflow — a schedule bug the fabric turns into a hard error.
+	Recv(link int, cycle int64) (Vector, bool)
+	// Transmit sends the program-alignment notification vector (Fig 7b).
+	Transmit(link int, cycle int64)
+}
+
+// ErrorKind classifies execution faults.
+type ErrorKind int
+
+const (
+	// ErrNone means clean execution.
+	ErrNone ErrorKind = iota
+	// ErrUnderflow is a Recv with no arrived data: the schedule lied.
+	ErrUnderflow
+	// ErrDeadlock means all live units are parked with no NOTIFY ahead.
+	ErrDeadlock
+	// ErrMemPoison is a Read that hit a detected-uncorrectable memory
+	// error; the runtime must replay (§4.5).
+	ErrMemPoison
+)
+
+func (k ErrorKind) String() string {
+	switch k {
+	case ErrNone:
+		return "none"
+	case ErrUnderflow:
+		return "receiver-underflow"
+	case ErrDeadlock:
+		return "deadlock"
+	case ErrMemPoison:
+		return "memory-poison"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault describes an execution fault.
+type Fault struct {
+	Kind  ErrorKind
+	Unit  isa.Unit
+	Cycle int64
+	Instr isa.Instruction
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("tsp: %v at cycle %d on %v (%v)", f.Kind, f.Cycle, f.Unit, f.Instr)
+}
+
+// Chip is one TSP instance mid-execution.
+type Chip struct {
+	ID      int
+	Mem     *mem.SRAM
+	Streams [NumStreams]Vector
+	Weights [WeightRows][FloatLanes]float32
+
+	c2c  C2C
+	prog *isa.Program
+
+	pc     [isa.NumUnits]int
+	cursor [isa.NumUnits]int64
+	parked [isa.NumUnits]bool
+	halted [isa.NumUnits]bool
+
+	// deskewDelta is the SAC−HAC drift applied by RUNTIME_DESKEW; the
+	// runtime sets it from the hac.Device state when running multi-chip.
+	deskewDelta func(cycle int64) int64
+
+	// busy accumulates non-NOP occupancy per unit for profiling.
+	busy [isa.NumUnits]int64
+
+	fault *Fault
+}
+
+// Occupancy returns each unit's busy (non-NOP, non-stall) cycles so far —
+// the dynamic utilization profile of the program.
+func (c *Chip) Occupancy() [isa.NumUnits]int64 { return c.busy }
+
+// Utilization returns busy/finish per unit as fractions (zero before any
+// work).
+func (c *Chip) Utilization() [isa.NumUnits]float64 {
+	var out [isa.NumUnits]float64
+	total := c.FinishCycle()
+	if total == 0 {
+		return out
+	}
+	for u := range out {
+		out[u] = float64(c.busy[u]) / float64(total)
+	}
+	return out
+}
+
+// New creates a chip with fresh memory, loaded with the program.
+func New(id int, prog *isa.Program, c2c C2C) *Chip {
+	return &Chip{ID: id, Mem: mem.NewSRAM(), prog: prog, c2c: c2c}
+}
+
+// SetDeskewDelta installs the drift oracle used by RUNTIME_DESKEW (the
+// signed SAC−HAC difference at a given local cycle).
+func (c *Chip) SetDeskewDelta(f func(cycle int64) int64) { c.deskewDelta = f }
+
+// Fault returns the first execution fault, or nil.
+func (c *Chip) Fault() *Fault { return c.fault }
+
+// Done reports whether every unit has finished its stream.
+func (c *Chip) Done() bool {
+	for u := isa.Unit(0); u < isa.NumUnits; u++ {
+		if !c.unitDone(u) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Chip) unitDone(u isa.Unit) bool {
+	return c.halted[u] || c.pc[u] >= len(c.prog.Streams[u])
+}
+
+// FinishCycle returns the largest unit cursor — the chip's completion time.
+func (c *Chip) FinishCycle() int64 {
+	var m int64
+	for u := isa.Unit(0); u < isa.NumUnits; u++ {
+		if c.cursor[u] > m {
+			m = c.cursor[u]
+		}
+	}
+	return m
+}
+
+// NextIssue returns the unit with the earliest pending instruction, or
+// (NumUnits, false) when none remain runnable.
+func (c *Chip) NextIssue() (isa.Unit, int64, bool) {
+	best := isa.NumUnits
+	var bestT int64
+	for u := isa.Unit(0); u < isa.NumUnits; u++ {
+		if c.unitDone(u) || c.parked[u] {
+			continue
+		}
+		if best == isa.NumUnits || c.cursor[u] < bestT {
+			best, bestT = u, c.cursor[u]
+		}
+	}
+	return best, bestT, best != isa.NumUnits
+}
+
+// Step executes the earliest pending instruction. It returns false when the
+// chip has finished or faulted or is fully parked.
+func (c *Chip) Step() bool {
+	if c.fault != nil {
+		return false
+	}
+	u, t, ok := c.NextIssue()
+	if !ok {
+		if !c.Done() && c.anyParked() {
+			c.fault = &Fault{Kind: ErrDeadlock, Cycle: c.FinishCycle()}
+		}
+		return false
+	}
+	in := c.prog.Streams[u][c.pc[u]]
+	c.pc[u]++
+	c.execute(u, in, t)
+	return c.fault == nil
+}
+
+func (c *Chip) anyParked() bool {
+	for u := isa.Unit(0); u < isa.NumUnits; u++ {
+		if c.parked[u] && !c.unitDone(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes until completion, fault, or full park. It returns the finish
+// cycle and the fault (nil on clean completion).
+func (c *Chip) Run() (int64, *Fault) {
+	for c.Step() {
+	}
+	return c.FinishCycle(), c.fault
+}
+
+func (c *Chip) execute(u isa.Unit, in isa.Instruction, t int64) {
+	adv := isa.Latency(in)
+	if in.Op != isa.Nop {
+		c.busy[u] += adv
+	}
+	switch in.Op {
+	case isa.Nop:
+		// Pure schedule padding.
+
+	case isa.Sync:
+		c.parked[u] = true
+		c.cursor[u] = t + adv
+		return
+
+	case isa.Notify:
+		wake := t + NotifyLatency
+		for v := isa.Unit(0); v < isa.NumUnits; v++ {
+			if c.parked[v] {
+				c.parked[v] = false
+				if c.cursor[v] < wake {
+					c.cursor[v] = wake
+				}
+			}
+		}
+
+	case isa.Deskew:
+		// Pause issue until the next epoch boundary.
+		next := ((t + adv + EpochCycles - 1) / EpochCycles) * EpochCycles
+		c.cursor[u] = next
+		return
+
+	case isa.RuntimeDeskew:
+		stall := int64(in.Imm)
+		if c.deskewDelta != nil {
+			stall += c.deskewDelta(t)
+		}
+		if stall < 0 {
+			stall = 0
+		}
+		c.cursor[u] = t + stall
+		return
+
+	case isa.Transmit:
+		if c.c2c != nil {
+			c.c2c.Transmit(int(in.A), t)
+		}
+
+	case isa.Send:
+		if c.c2c != nil {
+			c.c2c.Send(int(in.A), c.Streams[in.B%NumStreams], t)
+		}
+
+	case isa.Recv:
+		if c.c2c != nil {
+			v, ok := c.c2c.Recv(int(in.A), t)
+			if !ok {
+				c.fault = &Fault{Kind: ErrUnderflow, Unit: u, Cycle: t, Instr: in}
+				return
+			}
+			c.Streams[in.B%NumStreams] = v
+		}
+
+	case isa.Read:
+		data, ok := c.Mem.Read(memAddr(in))
+		if !ok {
+			c.fault = &Fault{Kind: ErrMemPoison, Unit: u, Cycle: t, Instr: in}
+			return
+		}
+		copy(c.Streams[int(in.Imm)%NumStreams][:], data)
+
+	case isa.Write:
+		v := c.Streams[int(in.Imm)%NumStreams]
+		c.Mem.Write(memAddr(in), v[:])
+
+	case isa.LoadWeights:
+		c.Weights[int(in.B)%WeightRows] = c.Streams[in.A%NumStreams].Floats()
+
+	case isa.MatMul:
+		rows := int(in.Imm)
+		if rows < 1 {
+			rows = 1
+		}
+		if rows > WeightRows {
+			rows = WeightRows
+		}
+		act := c.Streams[in.A%NumStreams].Floats()
+		var out [FloatLanes]float32
+		for r := 0; r < rows && r < FloatLanes; r++ {
+			a := act[r]
+			if a == 0 {
+				continue
+			}
+			w := &c.Weights[r]
+			for j := range out {
+				out[j] += a * w[j]
+			}
+		}
+		var res Vector
+		res.SetFloats(out)
+		c.Streams[in.B%NumStreams] = res
+
+	case isa.VAdd, isa.VSub, isa.VMul:
+		a := c.Streams[in.A%NumStreams].Floats()
+		b := c.Streams[in.B%NumStreams].Floats()
+		var out [FloatLanes]float32
+		for i := range out {
+			switch in.Op {
+			case isa.VAdd:
+				out[i] = a[i] + b[i]
+			case isa.VSub:
+				out[i] = a[i] - b[i]
+			default:
+				out[i] = a[i] * b[i]
+			}
+		}
+		var res Vector
+		res.SetFloats(out)
+		c.Streams[in.C%NumStreams] = res
+
+	case isa.VRsqrt:
+		a := c.Streams[in.A%NumStreams].Floats()
+		var out [FloatLanes]float32
+		for i := range out {
+			if a[i] > 0 {
+				out[i] = float32(1 / math.Sqrt(float64(a[i])))
+			}
+		}
+		var res Vector
+		res.SetFloats(out)
+		c.Streams[in.C%NumStreams] = res
+
+	case isa.VSplat:
+		a := c.Streams[in.A%NumStreams].Floats()
+		lane := int(in.Imm)
+		if lane < 0 || lane >= FloatLanes {
+			lane = 0
+		}
+		var out [FloatLanes]float32
+		for i := range out {
+			out[i] = a[lane]
+		}
+		var res Vector
+		res.SetFloats(out)
+		c.Streams[in.C%NumStreams] = res
+
+	case isa.VCopy:
+		c.Streams[in.C%NumStreams] = c.Streams[in.A%NumStreams]
+
+	case isa.VMax:
+		a := c.Streams[in.A%NumStreams].Floats()
+		bb := c.Streams[in.B%NumStreams].Floats()
+		var out [FloatLanes]float32
+		for i := range out {
+			out[i] = a[i]
+			if bb[i] > out[i] {
+				out[i] = bb[i]
+			}
+		}
+		var res Vector
+		res.SetFloats(out)
+		c.Streams[in.C%NumStreams] = res
+
+	case isa.VRelu:
+		a := c.Streams[in.A%NumStreams].Floats()
+		var out [FloatLanes]float32
+		for i := range out {
+			if a[i] > 0 {
+				out[i] = a[i]
+			}
+		}
+		var res Vector
+		res.SetFloats(out)
+		c.Streams[in.C%NumStreams] = res
+
+	case isa.VExp:
+		a := c.Streams[in.A%NumStreams].Floats()
+		var out [FloatLanes]float32
+		for i := range out {
+			out[i] = float32(math.Exp(float64(a[i])))
+		}
+		var res Vector
+		res.SetFloats(out)
+		c.Streams[in.C%NumStreams] = res
+
+	case isa.VScale:
+		a := c.Streams[in.A%NumStreams].Floats()
+		k := math.Float32frombits(uint32(in.Imm))
+		var out [FloatLanes]float32
+		for i := range out {
+			out[i] = a[i] * k
+		}
+		var res Vector
+		res.SetFloats(out)
+		c.Streams[in.C%NumStreams] = res
+
+	case isa.Halt:
+		c.halted[u] = true
+		c.cursor[u] = t + adv
+		return
+	}
+	c.cursor[u] = t + adv
+}
+
+// memAddr decodes the (A=hemisphere*44+slice, B=bank, C=offset) operand
+// convention shared by Read and Write.
+func memAddr(in isa.Instruction) mem.Addr {
+	return mem.Addr{
+		Hemisphere: int(in.A) / mem.Slices % mem.Hemispheres,
+		Slice:      int(in.A) % mem.Slices,
+		Bank:       int(in.B) % mem.Banks,
+		Offset:     int(in.C) % mem.Addresses,
+	}
+}

@@ -1,0 +1,118 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/route"
+	"repro/internal/runtime"
+	"repro/internal/topo"
+	"repro/internal/tsp"
+)
+
+// Functional 8-way All-Reduce: generate real per-chip programs (sends,
+// statically timed receives, VXM accumulation), execute them on the
+// simulated cluster, and return every chip's result. This is §5.3 made
+// concrete: no mutex, no flag, no fence — the accumulating VADD is simply
+// *scheduled* after the contributing vector's statically known arrival.
+//
+// The generated algorithm is direct exchange (each chip broadcasts its
+// vector on its 7 dedicated links and accumulates the 7 it receives) —
+// bandwidth-suboptimal for large tensors but one vector here, and
+// functionally identical to the reduce-scatter schedule the performance
+// models use.
+
+// FunctionalAllReduce runs the exchange for one vector per chip. inputs[i]
+// is chip i's contribution (up to 80 float32 lanes). It returns each
+// chip's final vector and the cluster finish cycle.
+func FunctionalAllReduce(inputs [][]float32) ([][]float32, int64, error) {
+	const n = topo.TSPsPerNode
+	if len(inputs) != n {
+		return nil, 0, fmt.Errorf("workloads: need %d inputs, got %d", n, len(inputs))
+	}
+	sys, err := topo.New(topo.Config{Nodes: 1})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Per chip: local link index of the cable to each peer.
+	linkTo := make([][]int, n)
+	for i := 0; i < n; i++ {
+		linkTo[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				linkTo[i][j] = -1
+				continue
+			}
+			found := -1
+			for idx, lid := range sys.Out(topo.TSPID(i)) {
+				if sys.Link(lid).To == topo.TSPID(j) {
+					found = idx
+					break
+				}
+			}
+			if found < 0 {
+				return nil, 0, fmt.Errorf("workloads: no link %d→%d", i, j)
+			}
+			linkTo[i][j] = found
+		}
+	}
+
+	// Static schedule: chip i sends to peer p at cycle rank(p) ∈ 0..6;
+	// arrivals land by rank+HopCycles; receives issue from recvStart,
+	// accumulation after the last receive.
+	const recvStart = route.HopCycles + 10
+	progs := make([]*isa.Program, n)
+	for i := 0; i < n; i++ {
+		p := &isa.Program{}
+		rank := 0
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			// Sends issue back to back from cycle 0.
+			p.AppendTo(isa.C2C, isa.Instruction{
+				Op: isa.Send, A: uint16(linkTo[i][j]), B: 1,
+			})
+			rank++
+		}
+		// Pad to the receive window, then drain the 7 inbound links.
+		p.AppendTo(isa.C2C, isa.Instruction{Op: isa.Nop, Imm: recvStart - 7})
+		rx := 0
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			p.AppendTo(isa.C2C, isa.Instruction{
+				Op: isa.Recv, A: uint16(linkTo[i][j]), B: uint16(10 + rx),
+			})
+			rx++
+		}
+		// Accumulate: s20 = s1 + s10 + … + s16, after the last recv
+		// (recvStart + 7 issue cycles).
+		p.AppendTo(isa.VXM, isa.Instruction{Op: isa.Nop, Imm: recvStart + 8})
+		p.AppendTo(isa.VXM, isa.Instruction{Op: isa.VAdd, A: 1, B: 10, C: 20})
+		for k := 1; k < n-1; k++ {
+			p.AppendTo(isa.VXM, isa.Instruction{Op: isa.VAdd, A: 20, B: uint16(10 + k), C: 20})
+		}
+		progs[i] = p
+	}
+
+	cl, err := runtime.New(sys, progs)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := 0; i < n; i++ {
+		cl.Chip(i).Streams[1] = tsp.VectorOf(inputs[i])
+	}
+	finish, err := cl.Run()
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		f := cl.Chip(i).Streams[20].Floats()
+		out[i] = append([]float32(nil), f[:]...)
+	}
+	return out, finish, nil
+}

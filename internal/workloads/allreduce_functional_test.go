@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFunctionalAllReduceSums(t *testing.T) {
+	inputs := make([][]float32, 8)
+	for i := range inputs {
+		inputs[i] = []float32{float32(i + 1), float32(10 * (i + 1)), -float32(i)}
+	}
+	out, finish, err := FunctionalAllReduce(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finish <= 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	// Elementwise sums: 1+2+...+8 = 36; 10·36 = 360; −(0+...+7) = −28.
+	for chip, v := range out {
+		if v[0] != 36 || v[1] != 360 || v[2] != -28 {
+			t.Fatalf("chip %d result %v, want [36 360 -28]", chip, v[:3])
+		}
+		// Untouched lanes sum to zero.
+		if v[3] != 0 {
+			t.Fatalf("chip %d lane 3 = %f", chip, v[3])
+		}
+	}
+}
+
+func TestFunctionalAllReduceRandom(t *testing.T) {
+	rng := sim.NewRNG(17)
+	inputs := make([][]float32, 8)
+	want := make([]float64, 80)
+	for i := range inputs {
+		inputs[i] = make([]float32, 80)
+		for l := range inputs[i] {
+			x := float32(rng.Float64()*10 - 5)
+			inputs[i][l] = x
+			want[l] += float64(x)
+		}
+	}
+	out, _, err := FunctionalAllReduce(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for chip, v := range out {
+		for l := 0; l < 80; l++ {
+			diff := float64(v[l]) - want[l]
+			if diff < -1e-3 || diff > 1e-3 {
+				t.Fatalf("chip %d lane %d: %f vs %f", chip, l, v[l], want[l])
+			}
+		}
+	}
+}
+
+func TestFunctionalAllReduceDeterministicTiming(t *testing.T) {
+	inputs := make([][]float32, 8)
+	for i := range inputs {
+		inputs[i] = []float32{1}
+	}
+	_, f1, err := FunctionalAllReduce(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f2, err := FunctionalAllReduce(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatal("functional all-reduce timing must be deterministic")
+	}
+}
+
+func TestFunctionalAllReduceValidation(t *testing.T) {
+	if _, _, err := FunctionalAllReduce(make([][]float32, 3)); err == nil {
+		t.Fatal("wrong participant count should error")
+	}
+}

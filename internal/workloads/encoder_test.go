@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// hostEncoder is the reference implementation of the simplified layer.
+func hostEncoder(p *EncoderParams, x [][]float32) [][]float32 {
+	s, h := p.Seq, p.Hidden
+	matvec := func(v []float32, w [][]float32, cols int) []float32 {
+		out := make([]float32, cols)
+		for c := 0; c < cols; c++ {
+			var acc float64
+			for r := range w {
+				acc += float64(v[r]) * float64(w[r][c])
+			}
+			out[c] = float32(acc)
+		}
+		return out
+	}
+	q := make([][]float32, s)
+	k := make([][]float32, s)
+	v := make([][]float32, s)
+	for i := 0; i < s; i++ {
+		q[i] = matvec(x[i], p.Wq, h)
+		k[i] = matvec(x[i], p.Wk, h)
+		v[i] = matvec(x[i], p.Wv, h)
+	}
+	out := make([][]float32, s)
+	for i := 0; i < s; i++ {
+		// Scores + stable softmax.
+		scores := make([]float64, s)
+		maxSc := math.Inf(-1)
+		for j := 0; j < s; j++ {
+			var dot float64
+			for l := 0; l < h; l++ {
+				dot += float64(q[i][l]) * float64(k[j][l])
+			}
+			scores[j] = dot / math.Sqrt(float64(h))
+			if scores[j] > maxSc {
+				maxSc = scores[j]
+			}
+		}
+		var sum float64
+		for j := range scores {
+			scores[j] = math.Exp(scores[j] - maxSc)
+			sum += scores[j]
+		}
+		// Attention + residual.
+		attn := make([]float32, h)
+		copy(attn, x[i])
+		for j := 0; j < s; j++ {
+			w := float32(scores[j] / sum)
+			for l := 0; l < h; l++ {
+				attn[l] += w * v[j][l]
+			}
+		}
+		// FFN + residual.
+		inner := matvec(attn, p.W1, p.FFN)
+		for l := range inner {
+			if inner[l] < 0 {
+				inner[l] = 0
+			}
+		}
+		ffn := matvec(inner, p.W2, h)
+		out[i] = make([]float32, h)
+		for l := 0; l < h; l++ {
+			out[i][l] = attn[l] + ffn[l]
+		}
+	}
+	return out
+}
+
+func randomEncoder(seed uint64) (*EncoderParams, [][]float32) {
+	rng := sim.NewRNG(seed)
+	const s, h, f = 4, 8, 16
+	mk := func(rows, cols int, scale float64) [][]float32 {
+		out := make([][]float32, rows)
+		for r := range out {
+			out[r] = make([]float32, cols)
+			for c := range out[r] {
+				out[r][c] = float32((rng.Float64()*2 - 1) * scale)
+			}
+		}
+		return out
+	}
+	p := &EncoderParams{
+		Seq: s, Hidden: h, FFN: f,
+		Wq: mk(h, h, 0.5), Wk: mk(h, h, 0.5), Wv: mk(h, h, 0.5),
+		W1: mk(h, f, 0.4), W2: mk(f, h, 0.4),
+	}
+	x := mk(s, h, 1.0)
+	return p, x
+}
+
+// TestFunctionalEncoderMatchesReference runs the full attention+FFN layer
+// on the simulated chip and compares every output lane against the host.
+func TestFunctionalEncoderMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		p, x := randomEncoder(seed)
+		got, cycles, err := RunEncoderOnChip(p, x)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := hostEncoder(p, x)
+		for i := 0; i < p.Seq; i++ {
+			for l := 0; l < p.Hidden; l++ {
+				diff := math.Abs(float64(got[i][l] - want[i][l]))
+				tol := 1e-3 + 1e-3*math.Abs(float64(want[i][l]))
+				if diff > tol {
+					t.Fatalf("seed %d token %d lane %d: chip %f vs host %f",
+						seed, i, l, got[i][l], want[i][l])
+				}
+			}
+		}
+		if cycles <= 0 {
+			t.Fatal("no cycles")
+		}
+	}
+}
+
+func TestFunctionalEncoderDeterministic(t *testing.T) {
+	p, x := randomEncoder(9)
+	_, c1, err := RunEncoderOnChip(p, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c2, err := RunEncoderOnChip(p, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("encoder timing must be deterministic")
+	}
+}
+
+func TestEncoderValidation(t *testing.T) {
+	if _, err := BuildEncoderProgram(&EncoderParams{Seq: 99}); err == nil {
+		t.Fatal("oversized seq should fail")
+	}
+	p, x := randomEncoder(1)
+	if _, _, err := RunEncoderOnChip(p, x[:2]); err == nil {
+		t.Fatal("token count mismatch should fail")
+	}
+	p.Wq = p.Wq[:3]
+	if _, _, err := RunEncoderOnChip(p, x); err == nil {
+		t.Fatal("weight shape mismatch should fail")
+	}
+}

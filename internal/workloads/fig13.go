@@ -1,0 +1,40 @@
+// Package workloads drives the paper's evaluation section: each FigNN
+// function regenerates the data series behind one figure or table, built
+// on the compiler's rate models, the SSN scheduler, the collective
+// library, and the baseline comparators. cmd/tspsim prints them; the
+// repository benchmarks measure them.
+package workloads
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/compiler"
+)
+
+// Fig13Point is one x-position of Fig 13: matmul utilization of
+// [2304×4096]×[4096×N] on a single TSP versus a single A100.
+type Fig13Point struct {
+	N          int
+	TSPUtil    float64
+	A100Util   float64
+	TSPTFlops  float64
+	A100TFlops float64
+}
+
+// Fig13 sweeps N over the paper's range (1376..3500).
+func Fig13(step int) []Fig13Point {
+	if step < 1 {
+		step = 4
+	}
+	const m, k = 2304, 4096
+	var pts []Fig13Point
+	for n := 1376; n <= 3500; n += step {
+		pts = append(pts, Fig13Point{
+			N:          n,
+			TSPUtil:    compiler.TSPMatmulUtilization(m, n, k, compiler.FP16),
+			A100Util:   baseline.A100MatmulUtilization(m, n, k),
+			TSPTFlops:  compiler.TSPMatmulTFlops(m, n, k, compiler.FP16),
+			A100TFlops: baseline.A100MatmulTFlops(m, n, k),
+		})
+	}
+	return pts
+}

@@ -1,0 +1,58 @@
+package workloads
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/route"
+)
+
+// Fig 9: the communication model. A conventional shared-memory transaction
+// ("read X from processor B") pays a full round trip — request flight,
+// remote DRAM access, reply flight — plus the mutex/flag machinery §5.3
+// describes. The scheduled fabric knows at compile time when B's value is
+// needed and *pushes* it, eliminating the request leg and the
+// synchronization entirely.
+
+// Fig9Result compares the two models for one remote read of `bytes`.
+type Fig9Result struct {
+	Bytes int64
+	// PullUS is the conventional request/reply latency.
+	PullUS float64
+	// PushUS is the scheduled one-way push.
+	PushUS float64
+	// Speedup is PullUS / PushUS.
+	Speedup float64
+}
+
+// Conventional-system constants.
+const (
+	// dramAccessUS is a remote DRAM access including controller queuing.
+	dramAccessUS = 0.12
+	// niOverheadUS is per-message NIC/transport processing on each end.
+	niOverheadUS = 0.25
+	// flagCheckUS is the producer-side fence + consumer-side flag spin
+	// of the lock-based mailbox (§5.3).
+	flagCheckUS = 0.40
+)
+
+// Fig9 evaluates both models across transfer sizes. Flight time uses the
+// same per-hop wire latency for both systems (one hop each way); only the
+// protocol differs.
+func Fig9(sizes []int64) []Fig9Result {
+	hopUS := float64(route.HopCycles) / (compiler.TSPClockHz / 1e6)
+	var out []Fig9Result
+	for _, s := range sizes {
+		serialUS := float64(s) / 12.5e9 * 1e6 // payload at link rate
+		pull := niOverheadUS + hopUS +        // request leg
+			dramAccessUS + // remote access
+			niOverheadUS + hopUS + serialUS + // reply leg
+			flagCheckUS // fence + flag handshake
+		push := hopUS + serialUS // scheduled one-way, SRAM-to-SRAM
+		out = append(out, Fig9Result{
+			Bytes:   s,
+			PullUS:  pull,
+			PushUS:  push,
+			Speedup: pull / push,
+		})
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/isa"
+	"repro/internal/tsp"
+)
+
+// Sequence-to-sequence workloads (§5: "matrix-matrix, vector-matrix, and
+// matrix transpose operations are representative of and commonly used by
+// many machine learning models, like sequence-to-sequence models (e.g.
+// LSTMs) and transformers").
+//
+// An LSTM step is four vector-matrix products against [H×H] recurrent
+// weights plus pointwise gates — a latency-bound workload (M=1, no batch
+// amortization) that showcases why deterministic per-op latency matters:
+// the recurrent dependence chains every step on the previous one.
+
+// LSTMConfig sizes a single-layer LSTM.
+type LSTMConfig struct {
+	Hidden int
+	Steps  int
+	Dtype  compiler.Dtype
+}
+
+// StepCycles is one timestep's deterministic latency on one chip: 8
+// vector-matrix products ([1×H]×[H×H] for input and recurrent paths of the
+// four gates) plus the pointwise gate math.
+func (c LSTMConfig) StepCycles() int64 {
+	vm := compiler.MatmulCycles(1, c.Hidden, c.Hidden, c.Dtype)
+	pointwise := int64(5 * ((c.Hidden + 319) / 320) * 2) // σ/tanh/mul/add chains
+	return 8*vm + pointwise
+}
+
+// SequenceCycles is the whole sequence: strictly serial through the
+// recurrence.
+func (c LSTMConfig) SequenceCycles() int64 {
+	return int64(c.Steps) * c.StepCycles()
+}
+
+// TokensPerSecond is the steady decode rate.
+func (c LSTMConfig) TokensPerSecond() float64 {
+	return float64(compiler.TSPClockHz) / float64(c.StepCycles())
+}
+
+// FunctionalVectorMatrix runs a real [1×k]×[k×cols] vector-matrix product
+// on the simulated chip's MXM (k ≤ 160 weight rows, cols ≤ 80 lanes) and
+// returns the result — the primitive every LSTM gate is made of.
+func FunctionalVectorMatrix(x []float32, w [][]float32) ([]float32, int64, error) {
+	k := len(w)
+	if k == 0 || k > tsp.WeightRows || k > tsp.FloatLanes {
+		return nil, 0, fmt.Errorf("workloads: k=%d out of range", k)
+	}
+	if len(x) != k {
+		return nil, 0, fmt.Errorf("workloads: x has %d elements, want %d", len(x), k)
+	}
+	prog := &isa.Program{}
+	for r := 0; r < k; r++ {
+		prog.Append(isa.Instruction{Op: isa.LoadWeights, A: uint16(1 + r), B: uint16(r)})
+	}
+	prog.Append(isa.Instruction{Op: isa.MatMul, A: 0, B: 63, Imm: int32(k)})
+	chip := tsp.New(0, prog, nil)
+	chip.Streams[0] = tsp.VectorOf(x)
+	for r := 0; r < k; r++ {
+		chip.Streams[1+r] = tsp.VectorOf(w[r])
+	}
+	finish, fault := chip.Run()
+	if fault != nil {
+		return nil, finish, fault
+	}
+	out := chip.Streams[63].Floats()
+	return append([]float32(nil), out[:]...), finish, nil
+}

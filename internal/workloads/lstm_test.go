@@ -1,0 +1,112 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/sim"
+)
+
+func TestLSTMStepLatency(t *testing.T) {
+	c := LSTMConfig{Hidden: 1024, Steps: 128, Dtype: compiler.FP16}
+	step := c.StepCycles()
+	if step <= 0 {
+		t.Fatal("no step time")
+	}
+	// The recurrence serializes: the sequence is exactly steps × step.
+	if c.SequenceCycles() != 128*step {
+		t.Fatal("sequence not strictly serial")
+	}
+	// Decode rate in a plausible band: single-token vector-matrix work
+	// is latency-bound, far below peak-TFLOPs rates.
+	tps := c.TokensPerSecond()
+	if tps < 1e4 || tps > 1e7 {
+		t.Fatalf("tokens/s = %.0f out of plausible range", tps)
+	}
+	// INT8 runs faster than FP16 for the same shape.
+	c8 := c
+	c8.Dtype = compiler.INT8
+	if c8.StepCycles() >= c.StepCycles() {
+		t.Fatal("int8 should be faster")
+	}
+}
+
+func TestFunctionalVectorMatrix(t *testing.T) {
+	// x = [1 2 3], W = 3x4 known values: out[j] = Σ x[r]·W[r][j].
+	x := []float32{1, 2, 3}
+	w := [][]float32{
+		{1, 0, 2, -1},
+		{0, 1, 1, 1},
+		{2, 2, 0, 3},
+	}
+	out, cycles, err := FunctionalVectorMatrix(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{7, 8, 4, 10}
+	for j, wv := range want {
+		if out[j] != wv {
+			t.Fatalf("out[%d] = %f, want %f", j, out[j], wv)
+		}
+	}
+	if cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestFunctionalVectorMatrixRandomAgainstReference(t *testing.T) {
+	rng := sim.NewRNG(5)
+	const k, cols = 40, 60
+	x := make([]float32, k)
+	w := make([][]float32, k)
+	for r := range w {
+		x[r] = float32(rng.Float64()*2 - 1)
+		w[r] = make([]float32, cols)
+		for c := range w[r] {
+			w[r][c] = float32(rng.Float64()*2 - 1)
+		}
+	}
+	out, _, err := FunctionalVectorMatrix(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < cols; c++ {
+		var ref float64
+		for r := 0; r < k; r++ {
+			ref += float64(x[r]) * float64(w[r][c])
+		}
+		if math.Abs(float64(out[c])-ref) > 1e-4 {
+			t.Fatalf("col %d: %f vs %f", c, out[c], ref)
+		}
+	}
+}
+
+func TestFunctionalVectorMatrixValidation(t *testing.T) {
+	if _, _, err := FunctionalVectorMatrix(nil, nil); err == nil {
+		t.Fatal("empty weights should error")
+	}
+	if _, _, err := FunctionalVectorMatrix([]float32{1}, make([][]float32, 2)); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	big := make([][]float32, 161)
+	if _, _, err := FunctionalVectorMatrix(make([]float32, 161), big); err == nil {
+		t.Fatal("k > weight rows should error")
+	}
+}
+
+func TestLSTMDeterministicTiming(t *testing.T) {
+	x := []float32{1, 2}
+	w := [][]float32{{1, 1}, {2, 2}}
+	_, c1, err := FunctionalVectorMatrix(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c2, err := FunctionalVectorMatrix(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("vector-matrix timing must be deterministic")
+	}
+}

@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ecc"
+	"repro/internal/topo"
+)
+
+// Reliability at scale (§4.5): "the scale of a parallel computer — the
+// maximum number of processing elements in the system — is in a very
+// practical sense limited by the reliability of the system." This model
+// quantifies that: given a per-bit link error rate, FEC corrects isolated
+// errors, but the probability that *some* frame somewhere suffers an
+// uncorrectable (multi-bit) error grows with the traffic volume an
+// inference pushes — and with it the software-replay rate.
+
+// ReliabilityPoint is one system size's expected fault behaviour.
+type ReliabilityPoint struct {
+	TSPs int
+	// FramesPerInference is the modeled network traffic volume.
+	FramesPerInference float64
+	// ExpectedSBEs is the mean corrected single-bit errors per inference
+	// (invisible to the application).
+	ExpectedSBEs float64
+	// ReplayProb is the probability an inference must be replayed
+	// because at least one frame had an uncorrectable error.
+	ReplayProb float64
+	// GoodputFrac is the useful-work fraction 1/(1+E[replays]).
+	GoodputFrac float64
+}
+
+// frameMBEProb returns the per-frame probability of an uncorrectable error
+// at the given BER: each of the 40 SECDED stripes fails when ≥2 of its 64
+// data bits flip.
+func frameMBEProb(ber float64) float64 {
+	if ber <= 0 {
+		return 0
+	}
+	// P(≥2 flips in 64 bits) = 1 − (1−p)^64 − 64·p·(1−p)^63, computed
+	// with expm1/log1p so BERs down to 1e-15 don't cancel to zero (or
+	// below it).
+	l := math.Log1p(-ber)
+	p63 := math.Exp(63 * l)
+	stripe := -math.Expm1(64*l) - 64*ber*p63
+	if stripe < 0 {
+		stripe = 0
+	}
+	// Frame fails if any stripe does.
+	return -math.Expm1(float64(ecc.FrameWords) * math.Log1p(-stripe))
+}
+
+// Reliability evaluates system sizes for an inference that moves
+// bytesPerTSP of traffic per participating TSP at the given link BER.
+func Reliability(ber float64, bytesPerTSP int64, tspCounts []int) ([]ReliabilityPoint, error) {
+	if ber < 0 || ber >= 1 {
+		return nil, fmt.Errorf("workloads: BER %g out of range", ber)
+	}
+	if bytesPerTSP <= 0 {
+		return nil, fmt.Errorf("workloads: non-positive traffic volume")
+	}
+	mbe := frameMBEProb(ber)
+	sbePerFrame := float64(320*8) * ber // expected flips ≈ corrected SBEs
+	var out []ReliabilityPoint
+	for _, n := range tspCounts {
+		if n < 1 || n > topo.MaxTSPs {
+			return nil, fmt.Errorf("workloads: TSP count %d out of range", n)
+		}
+		frames := float64(n) * float64(bytesPerTSP) / 320
+		replay := -math.Expm1(frames * math.Log1p(-mbe))
+		if replay < 0 {
+			replay = 0
+		}
+		expReplays := 0.0
+		if replay < 1 {
+			expReplays = replay / (1 - replay) // geometric retries
+		} else {
+			expReplays = math.Inf(1)
+		}
+		out = append(out, ReliabilityPoint{
+			TSPs:               n,
+			FramesPerInference: frames,
+			ExpectedSBEs:       frames * sbePerFrame,
+			ReplayProb:         replay,
+			GoodputFrac:        1 / (1 + expReplays),
+		})
+	}
+	return out, nil
+}
+
+// MaxScaleForGoodput returns the largest deployable TSP count whose
+// goodput stays at or above the target fraction — the §4.5 scale limit
+// made quantitative.
+func MaxScaleForGoodput(ber float64, bytesPerTSP int64, target float64) (int, error) {
+	if target <= 0 || target > 1 {
+		return 0, fmt.Errorf("workloads: target fraction out of range")
+	}
+	lo, hi := 1, topo.MaxTSPs
+	pts, err := Reliability(ber, bytesPerTSP, []int{hi})
+	if err != nil {
+		return 0, err
+	}
+	if pts[0].GoodputFrac >= target {
+		return hi, nil
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		pts, err := Reliability(ber, bytesPerTSP, []int{mid})
+		if err != nil {
+			return 0, err
+		}
+		if pts[0].GoodputFrac >= target {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}

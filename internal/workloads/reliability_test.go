@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestFrameMBEProbShape(t *testing.T) {
+	if frameMBEProb(0) != 0 {
+		t.Fatal("zero BER should be perfect")
+	}
+	// Monotone in BER.
+	prev := 0.0
+	for _, ber := range []float64{1e-12, 1e-9, 1e-6, 1e-4, 1e-2} {
+		p := frameMBEProb(ber)
+		if p <= prev {
+			t.Fatalf("MBE prob not monotone at %g", ber)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %f out of range", p)
+		}
+		prev = p
+	}
+	// At realistic serdes BER (1e-12), frames are overwhelmingly clean.
+	if frameMBEProb(1e-12) > 1e-15 {
+		t.Fatalf("per-frame MBE at 1e-12 BER = %g, should be negligible", frameMBEProb(1e-12))
+	}
+}
+
+func TestReliabilityScaling(t *testing.T) {
+	// 1 MB per TSP per inference at BER 1e-9 (a marginal cable).
+	pts, err := Reliability(1e-9, 1<<20, []int{8, 264, 10440})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay probability and SBE counts grow with scale.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ReplayProb <= pts[i-1].ReplayProb {
+			t.Fatal("replay probability must grow with scale")
+		}
+		if pts[i].ExpectedSBEs <= pts[i-1].ExpectedSBEs {
+			t.Fatal("SBE volume must grow with scale")
+		}
+	}
+	// Goodput shrinks with scale.
+	if pts[2].GoodputFrac >= pts[0].GoodputFrac {
+		t.Fatal("goodput must shrink with scale")
+	}
+	for _, p := range pts {
+		if p.GoodputFrac <= 0 || p.GoodputFrac > 1 {
+			t.Fatalf("goodput %f out of range", p.GoodputFrac)
+		}
+	}
+}
+
+func TestReliabilityHealthyAtSpecBER(t *testing.T) {
+	// At the serdes spec BER (1e-12), even the full 10,440-TSP machine
+	// replays essentially never — which is why FEC+replay suffices as
+	// the whole reliability story.
+	pts, err := Reliability(1e-12, 64<<20, []int{topo.MaxTSPs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].ReplayProb > 1e-6 {
+		t.Fatalf("replay prob %g at spec BER, want ~0", pts[0].ReplayProb)
+	}
+	if pts[0].GoodputFrac < 0.999999 {
+		t.Fatal("goodput should be ~1 at spec BER")
+	}
+}
+
+func TestMaxScaleForGoodput(t *testing.T) {
+	// With a degraded BER, the deployable scale shrinks below the
+	// architectural maximum: reliability, not topology, caps the machine.
+	max, err := MaxScaleForGoodput(1e-6, 1<<20, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max >= topo.MaxTSPs {
+		t.Fatalf("degraded BER should cap scale below %d, got %d", topo.MaxTSPs, max)
+	}
+	if max < 1 {
+		t.Fatal("some scale must remain deployable")
+	}
+	// Verify the boundary: goodput holds at max, fails just above.
+	at, err := Reliability(1e-6, 1<<20, []int{max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at[0].GoodputFrac < 0.9 {
+		t.Fatalf("goodput %.3f at reported max", at[0].GoodputFrac)
+	}
+	above, err := Reliability(1e-6, 1<<20, []int{max + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if above[0].GoodputFrac >= 0.9 {
+		t.Fatal("max+1 should violate the target")
+	}
+	// At spec BER the full machine qualifies.
+	full, err := MaxScaleForGoodput(1e-12, 1<<20, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != topo.MaxTSPs {
+		t.Fatalf("spec BER should allow the full machine, got %d", full)
+	}
+}
+
+func TestReliabilityValidation(t *testing.T) {
+	if _, err := Reliability(-1, 1, []int{8}); err == nil {
+		t.Fatal("negative BER")
+	}
+	if _, err := Reliability(1e-9, 0, []int{8}); err == nil {
+		t.Fatal("zero traffic")
+	}
+	if _, err := Reliability(1e-9, 1, []int{0}); err == nil {
+		t.Fatal("zero TSPs")
+	}
+	if _, err := MaxScaleForGoodput(1e-9, 1, 2); err == nil {
+		t.Fatal("bad target")
+	}
+	if math.IsNaN(frameMBEProb(1e-6)) {
+		t.Fatal("NaN probability")
+	}
+}

@@ -1,0 +1,77 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/topo"
+)
+
+// Capability vs capacity (paper introduction): the same machine must serve
+// strong scaling — more TSPs attacking a fixed problem to cut latency
+// (inference with pipelined model parallelism) — and weak scaling — more
+// TSPs carrying proportionally more work (training with data parallelism,
+// paying a gradient All-Reduce every step).
+
+// StrongScalingPoint is fixed-problem latency versus TSP count.
+type StrongScalingPoint struct {
+	TSPs       int
+	LatencyUS  float64
+	Efficiency float64 // speedup / TSPs
+}
+
+// StrongScaling reuses the Fig 14 decomposition: 8 column splits × R row
+// splits over the fixed [800×32576]×[32576×8192] operation.
+func StrongScaling(maxRowSplits int) ([]StrongScalingPoint, error) {
+	pts, err := Fig14(maxRowSplits)
+	if err != nil {
+		return nil, err
+	}
+	base := pts[0].LatencyUS * float64(pts[0].TSPs)
+	var out []StrongScalingPoint
+	for _, p := range pts {
+		speedup := pts[0].LatencyUS / p.LatencyUS
+		out = append(out, StrongScalingPoint{
+			TSPs:       p.TSPs,
+			LatencyUS:  p.LatencyUS,
+			Efficiency: speedup / (float64(p.TSPs) / float64(pts[0].TSPs)),
+		})
+	}
+	_ = base
+	return out, nil
+}
+
+// WeakScalingPoint is per-step efficiency of data-parallel training at a
+// given replica count.
+type WeakScalingPoint struct {
+	TSPs int
+	// ComputeUS is the per-replica step compute (constant in weak
+	// scaling).
+	ComputeUS float64
+	// AllReduceUS is the gradient collective cost.
+	AllReduceUS float64
+	// Efficiency is compute / (compute + allreduce).
+	Efficiency float64
+}
+
+// WeakScaling models data-parallel steps of a model with gradBytes of
+// gradients and stepComputeCycles of per-replica work, on systems of 1..n
+// nodes (8 replicas per node).
+func WeakScaling(gradBytes int64, stepComputeCycles int64, maxNodes int) ([]WeakScalingPoint, error) {
+	if maxNodes < 1 || maxNodes > topo.MaxAllToAllNodes {
+		return nil, fmt.Errorf("workloads: node count 1..%d", topo.MaxAllToAllNodes)
+	}
+	var out []WeakScalingPoint
+	computeUS := float64(stepComputeCycles) / compiler.TSPClockHz * 1e6
+	for nodes := 1; nodes <= maxNodes; nodes++ {
+		cycles := HierarchicalAllReduceAnalyticCycles(nodes, gradBytes)
+		arUS := float64(cycles) / compiler.TSPClockHz * 1e6
+		out = append(out, WeakScalingPoint{
+			TSPs:        nodes * topo.TSPsPerNode,
+			ComputeUS:   computeUS,
+			AllReduceUS: arUS,
+			Efficiency:  computeUS / (computeUS + arUS),
+		})
+	}
+	return out, nil
+}

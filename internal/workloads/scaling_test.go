@@ -1,0 +1,67 @@
+package workloads
+
+import "testing"
+
+func TestStrongScalingEfficiencyDecays(t *testing.T) {
+	pts, err := StrongScaling(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatal("points")
+	}
+	// Baseline is itself: efficiency 1.
+	if pts[0].Efficiency < 0.99 || pts[0].Efficiency > 1.01 {
+		t.Fatalf("baseline efficiency %f", pts[0].Efficiency)
+	}
+	// Latency keeps falling but parallel efficiency decays (Amdahl on
+	// the reduction and fill/drain tails).
+	if pts[7].LatencyUS >= pts[0].LatencyUS {
+		t.Fatal("strong scaling must cut latency")
+	}
+	if pts[7].Efficiency >= pts[0].Efficiency {
+		t.Fatal("strong-scaling efficiency should decay")
+	}
+	if pts[7].Efficiency < 0.4 {
+		t.Fatalf("efficiency collapsed to %f", pts[7].Efficiency)
+	}
+}
+
+func TestWeakScalingEfficiencyStaysHigh(t *testing.T) {
+	// BERT-Large-ish gradients (340 MB fp16... use 64 MB for test speed)
+	// against a 50 ms step: the collective is cheap relative to compute,
+	// so weak scaling stays efficient as replicas grow — the property
+	// that makes data-parallel training viable on this fabric.
+	pts, err := WeakScaling(64<<20, 45_000_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatal("points")
+	}
+	for _, p := range pts {
+		if p.Efficiency < 0.5 {
+			t.Fatalf("%d TSPs: weak-scaling efficiency %f too low", p.TSPs, p.Efficiency)
+		}
+	}
+	// Efficiency is monotone non-increasing with scale (the collective
+	// only gets more expensive).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Efficiency > pts[i-1].Efficiency+1e-9 {
+			t.Fatal("efficiency should not improve with more replicas")
+		}
+	}
+	// And the all-reduce cost grows across the node boundary.
+	if pts[3].AllReduceUS <= pts[0].AllReduceUS {
+		t.Fatal("multi-node collective should cost more than single-node")
+	}
+}
+
+func TestWeakScalingValidation(t *testing.T) {
+	if _, err := WeakScaling(1<<20, 1000, 0); err == nil {
+		t.Fatal("zero nodes should error")
+	}
+	if _, err := WeakScaling(1<<20, 1000, 99); err == nil {
+		t.Fatal("too many nodes should error")
+	}
+}

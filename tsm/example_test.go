@@ -1,0 +1,96 @@
+package tsm_test
+
+import (
+	"fmt"
+
+	"repro/tsm"
+)
+
+// Build a single-node system and inspect its properties.
+func ExampleNewSystem() {
+	sys, err := tsm.NewSystem(tsm.Config{Nodes: 1})
+	if err != nil {
+		panic(err)
+	}
+	measured, packaging := sys.Diameter()
+	fmt.Println(sys.NumTSPs(), "TSPs, diameter", measured, "/", packaging)
+	// Output: 8 TSPs, diameter 1 / 1
+}
+
+// Compile a tensor transfer at compile time: the arrival cycle is an exact
+// fact, not a measurement.
+func ExampleSystem_ScheduleTransfers() {
+	sys, err := tsm.NewSystem(tsm.Config{Nodes: 1})
+	if err != nil {
+		panic(err)
+	}
+	cs, err := sys.ScheduleTransfers([]tsm.Transfer{
+		{ID: 0, Src: 0, Dst: 1, Vectors: 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("vectors scheduled:", len(cs.Slots))
+	fmt.Println("last arrival cycle:", cs.Makespan)
+	// Output:
+	// vectors scheduled: 4
+	// last arrival cycle: 722
+}
+
+// An 8-way All-Reduce with no synchronization primitives: consumers are
+// scheduled after producer arrivals.
+func ExampleSystem_AllReduce() {
+	sys, err := tsm.NewSystem(tsm.Config{Nodes: 1})
+	if err != nil {
+		panic(err)
+	}
+	r, err := sys.AllReduce(1 << 20)
+	if err != nil {
+		panic(err)
+	}
+	r2, _ := sys.AllReduce(1 << 20)
+	fmt.Println("participants:", r.Participants)
+	fmt.Println("deterministic:", r.Cycles == r2.Cycles)
+	// Output:
+	// participants: 8
+	// deterministic: true
+}
+
+// Assemble and execute a tiny program on one simulated chip via a cluster.
+func ExampleAssemble() {
+	prog, err := tsm.Assemble(`
+vadd s1 s2 s3
+halt
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("instructions:", prog.Len())
+	// Output: instructions: 2
+}
+
+// Factor an SPD matrix on the simulated chip with the statically scheduled
+// Cholesky program.
+func ExampleCholesky() {
+	a := [][]float32{{4, 2}, {2, 5}}
+	l, _, err := tsm.Cholesky(a)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("L = [[%.0f 0] [%.0f %.0f]]\n", l[0][0], l[1][0], l[1][1])
+	// Output: L = [[2 0] [1 2]]
+}
+
+// Run a real All-Reduce on simulated chips and read the global sums.
+func ExampleFunctionalAllReduce() {
+	inputs := make([][]float32, 8)
+	for i := range inputs {
+		inputs[i] = []float32{1}
+	}
+	out, _, err := tsm.FunctionalAllReduce(inputs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("each chip holds:", out[0][0])
+	// Output: each chip holds: 8
+}

@@ -268,5 +268,5 @@ func BenchmarkSec56LatencyBound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cyc = collective.LatencyBoundCycles(sys)
 	}
-	b.ReportMetric(float64(cyc)/900, "allreduce-bound-us")
+	b.ReportMetric(clock.USOfCycles(cyc), "allreduce-bound-us")
 }

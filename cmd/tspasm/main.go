@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/clock"
 	"repro/internal/isa"
 	"repro/internal/tsp"
 )
@@ -52,8 +53,8 @@ func main() {
 			if fault != nil {
 				fatal(fault)
 			}
-			fmt.Printf("clean halt at cycle %d (%.3f µs at 900 MHz)\n",
-				finish, float64(finish)/900)
+			fmt.Printf("clean halt at cycle %d (%.3f µs at %d MHz)\n",
+				finish, clock.USOfCycles(finish), clock.ClockMHz)
 		}
 	default:
 		prog, err := isa.Assemble(string(data))

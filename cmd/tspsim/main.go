@@ -27,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/c2c"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/hac"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -76,33 +78,77 @@ var experiments = []struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (or 'all')")
-	flag.Parse()
-	if *exp == "all" {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run is main minus the process boundary, so tests can drive the CLI
+// in-process. Experiment output goes to os.Stdout as always; driver
+// diagnostics (errors, the usage listing) go to errw.
+func run(argv []string, errw io.Writer) int {
+	fs := flag.NewFlagSet("tspsim", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	exp := fs.String("exp", "all", "experiment to run (or 'all')")
+	tracePath := fs.String("trace", "", "write a Perfetto-loadable Chrome trace JSON here")
+	metricsPath := fs.String("metrics", "", "write the flat metrics JSON here")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	// Observability: when either output is requested, install a process-wide
+	// recorder before any experiment constructs chips, links, or clusters —
+	// every layer picks it up through obs.Get().
+	var rec *obs.Recorder
+	if *tracePath != "" || *metricsPath != "" {
+		rec = obs.New()
+		obs.Set(rec)
+		defer obs.Set(nil)
+	}
+
+	code := runExperiments(*exp, errw)
+	if code != 0 {
+		return code
+	}
+	if *tracePath != "" {
+		if err := rec.WriteTraceFile(*tracePath); err != nil {
+			fmt.Fprintf(errw, "trace: %v\n", err)
+			return 1
+		}
+	}
+	if *metricsPath != "" {
+		if err := rec.WriteMetricsFile(*metricsPath); err != nil {
+			fmt.Fprintf(errw, "metrics: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func runExperiments(exp string, errw io.Writer) int {
+	if exp == "all" {
 		for _, e := range experiments {
 			fmt.Printf("==== %s — %s ====\n", e.name, e.desc)
 			if err := e.run(); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-				os.Exit(1)
+				fmt.Fprintf(errw, "%s: %v\n", e.name, err)
+				return 1
 			}
 			fmt.Println()
 		}
-		return
+		return 0
 	}
 	for _, e := range experiments {
-		if e.name == *exp {
+		if e.name == exp {
 			if err := e.run(); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-				os.Exit(1)
+				fmt.Fprintf(errw, "%s: %v\n", e.name, err)
+				return 1
 			}
-			return
+			return 0
 		}
 	}
-	fmt.Fprintf(os.Stderr, "unknown experiment %q; known:\n", *exp)
+	fmt.Fprintf(errw, "unknown experiment %q; known:\n", exp)
 	for _, e := range experiments {
-		fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
+		fmt.Fprintf(errw, "  %-8s %s\n", e.name, e.desc)
 	}
-	os.Exit(2)
+	return 2
 }
 
 func fig2() error {
@@ -397,7 +443,7 @@ func sec56() error {
 		}
 		cyc := collective.LatencyBoundCycles(sys)
 		fmt.Printf("%4d TSPs: %d hops × %d cycles/hop = %d cycles = %.2f µs\n",
-			sys.NumTSPs(), sys.PackagingDiameter(), route.HopCycles, cyc, float64(cyc)/900)
+			sys.NumTSPs(), sys.PackagingDiameter(), route.HopCycles, cyc, clock.USOfCycles(cyc))
 	}
 	fmt.Println("paper: 3 hops × 722 ns ≈ 2.1 µs at 256 TSPs")
 	return nil
@@ -412,7 +458,7 @@ func faults() error {
 	var frame c2c.Frame
 	corrected, mbes := 0, 0
 	for i := 0; i < 5000; i++ {
-		_, c, m := c2c.Receive(link.Transmit(frame))
+		_, c, m := link.Receive(link.Transmit(frame))
 		corrected += c
 		if m {
 			mbes++
@@ -474,6 +520,14 @@ func traceExp() error {
 		return err
 	}
 	fmt.Print(cs.Trace(sys, core.TraceOptions{CyclesPerChar: 96, Links: cs.BusiestLinks(8)}))
+	occ := cs.LinkOccupancy()
+	fmt.Println("\nbusiest links (reserved slots → busy time at the nominal clock):")
+	for _, l := range cs.BusiestLinks(5) {
+		link := sys.Link(l)
+		busy := int64(occ[l]) * route.SlotCycles
+		fmt.Printf("  L%04d %3d→%-3d %4d slots = %5d cycles (%.2f µs)\n",
+			l, link.From, link.To, occ[l], busy, clock.USOfCycles(busy))
+	}
 	return nil
 }
 
@@ -508,7 +562,7 @@ func serveExp() error {
 	}
 	// Steady-state pipeline period bounds throughput; one inference is
 	// in flight per stage.
-	periodUS := float64(dep.Schedule.Makespan) / 4 / 900
+	periodUS := clock.USOfCycles(dep.Schedule.Makespan) / 4
 	fmt.Printf("pipeline period %.0f µs (capacity %.0f inf/s)\n", periodUS, 1e6/periodUS)
 	fmt.Printf("%6s %12s %10s %10s %12s\n", "load", "through/s", "p50(us)", "p99(us)", "utilization")
 	rs, err := serve.SaturationSweep(periodUS, 4, []float64{0.2, 0.5, 0.8, 0.95}, 50_000, 9)

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// muteStdout redirects the experiments' report output to /dev/null for the
+// duration of a test (run() intentionally keeps printing to os.Stdout).
+func muteStdout(t *testing.T) {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestUnknownExperimentExitsWithUsage(t *testing.T) {
+	muteStdout(t)
+	var errw bytes.Buffer
+	code := run([]string{"-exp", "nonesuch"}, &errw)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	out := errw.String()
+	if !strings.Contains(out, `unknown experiment "nonesuch"`) {
+		t.Errorf("stderr missing unknown-experiment message:\n%s", out)
+	}
+	// The usage listing must name every known experiment.
+	for _, e := range experiments {
+		if !strings.Contains(out, e.name) {
+			t.Errorf("usage listing missing experiment %q:\n%s", e.name, out)
+		}
+	}
+}
+
+func TestBadFlagExitsNonzero(t *testing.T) {
+	muteStdout(t)
+	var errw bytes.Buffer
+	if code := run([]string{"-nonsense"}, &errw); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestTraceAndMetricsDeterministic is the issue's acceptance check: two
+// same-seed runs of fig17 must produce byte-identical trace and metrics
+// files, and the trace must be valid Chrome trace-event JSON.
+func TestTraceAndMetricsDeterministic(t *testing.T) {
+	muteStdout(t)
+	dir := t.TempDir()
+	paths := func(i int) (string, string) {
+		return filepath.Join(dir, "t"+string(rune('0'+i))+".json"),
+			filepath.Join(dir, "m"+string(rune('0'+i))+".json")
+	}
+	for i := 1; i <= 2; i++ {
+		tr, me := paths(i)
+		var errw bytes.Buffer
+		if code := run([]string{"-exp", "fig17", "-trace", tr, "-metrics", me}, &errw); code != 0 {
+			t.Fatalf("run %d exit code = %d, stderr:\n%s", i, code, errw.String())
+		}
+	}
+	t1, m1 := paths(1)
+	t2, m2 := paths(2)
+	for _, pair := range [][2]string{{t1, t2}, {m1, m2}} {
+		a, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s and %s differ between identical runs", pair[0], pair[1])
+		}
+	}
+
+	// Chrome trace-event shape: {"traceEvents":[{name,ph,ts,pid,tid},...]}.
+	raw, err := os.ReadFile(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			Pid  *int     `json:"pid"`
+			Tid  *int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	sawSpan := false
+	for _, ev := range trace.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" || ev.TS == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event missing required fields: %+v", ev)
+		}
+		if ev.Ph == "X" {
+			sawSpan = true
+		}
+	}
+	if !sawSpan {
+		t.Error("trace contains no complete (ph=X) spans")
+	}
+
+	// The metrics dump must carry the fig17 counters.
+	var metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	rawM, err := os.ReadFile(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rawM, &metrics); err != nil {
+		t.Fatalf("metrics is not valid JSON: %v", err)
+	}
+	if metrics.Counters["bert.inferences{exp=fig17}"] == 0 {
+		t.Errorf("metrics missing bert.inferences{exp=fig17}; counters: %v", metrics.Counters)
+	}
+}

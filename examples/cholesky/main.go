@@ -8,6 +8,7 @@ import (
 	"log"
 	"math"
 
+	"repro/internal/clock"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 	"repro/tsm"
@@ -57,7 +58,7 @@ func main() {
 		}
 	}
 	fmt.Printf("32×32 SPD factorized on one simulated chip in %d cycles (%.1f µs)\n",
-		cycles, float64(cycles)/900)
+		cycles, clock.USOfCycles(cycles))
 	fmt.Printf("max |L·Lᵀ − A| = %.2e (fp32)\n", worst)
 
 	// The multi-TSP scaling model behind Fig 19.

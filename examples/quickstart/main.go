@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/clock"
 	"repro/tsm"
 )
 
@@ -31,7 +32,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("1 MiB tensor, %d vectors: scheduled in %d slots, delivered at cycle %d (%.1f µs)\n",
-		vectors, len(cs.Slots), cs.Makespan, float64(cs.Makespan)/900)
+		vectors, len(cs.Slots), cs.Makespan, clock.USOfCycles(cs.Makespan))
 
 	// An 8-way All-Reduce of the same tensor: barrier-free, no flags, no
 	// fences — consumers are simply scheduled after producer arrivals.

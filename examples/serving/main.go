@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/clock"
 	"repro/internal/serve"
 	"repro/tsm"
 )
@@ -17,7 +18,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	periodUS := float64(dep.Schedule.Makespan) / 4 / 900
+	periodUS := clock.USOfCycles(dep.Schedule.Makespan) / 4
 	capacity := 1e6 / periodUS
 	fmt.Printf("BERT-Large on 4 TSPs: pipeline period %.0f µs, capacity %.0f inf/s\n",
 		periodUS, capacity)

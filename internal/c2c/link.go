@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"repro/internal/ecc"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -116,6 +117,12 @@ type Link struct {
 	cfg       Config
 	rng       *sim.RNG
 	meanShift float64 // small per-link manufacturing variation
+
+	// Observability counters (nil when no recorder is attached). Links
+	// share unlabeled aggregate counters by default; Instrument installs
+	// labeled per-link ones.
+	framesTx, bitErrsInjected, framesRx, sbesCorrected, mbesDetected *obs.Counter
+	rec                                                              *obs.Recorder
 }
 
 // New creates a link. The RNG stream should be forked from the system seed
@@ -124,7 +131,25 @@ func New(cfg Config, rng *sim.RNG) *Link {
 	// Per-link static variation of the mean, ±0.5 cycles, mirroring the
 	// spread of per-link means in Table 2.
 	shift := (rng.Float64() - 0.5)
-	return &Link{cfg: cfg, rng: rng, meanShift: shift}
+	l := &Link{cfg: cfg, rng: rng, meanShift: shift}
+	l.Instrument(obs.Get())
+	return l
+}
+
+// Instrument attaches observability counters, optionally label-keyed
+// (e.g. obs.L("link", "L0012")). With no labels every link feeds the same
+// aggregate c2c.* counters, which is the right default for fleet-wide
+// FEC statistics.
+func (l *Link) Instrument(rec *obs.Recorder, labels ...obs.Label) {
+	l.rec = rec
+	if rec == nil {
+		return
+	}
+	l.framesTx = rec.Counter("c2c.frames_tx", labels...)
+	l.bitErrsInjected = rec.Counter("c2c.bit_errors_injected", labels...)
+	l.framesRx = rec.Counter("c2c.frames_rx", labels...)
+	l.sbesCorrected = rec.Counter("c2c.sbes_corrected", labels...)
+	l.mbesDetected = rec.Counter("c2c.mbes_detected", labels...)
 }
 
 // Config returns the link's physical configuration.
@@ -179,6 +204,7 @@ type Frame struct {
 // process. The returned frame is what the receiver sees.
 func (l *Link) Transmit(f Frame) Frame {
 	f.fec = ecc.EncodeFrame(f.Payload[:])
+	l.framesTx.Inc()
 	if ber := l.cfg.BitErrorRate; ber > 0 {
 		bits := VectorBytes * 8
 		// With realistic BERs (<1e-12) a per-bit loop is exact but
@@ -187,10 +213,24 @@ func (l *Link) Transmit(f Frame) Frame {
 		for b := 0; b < bits; b++ {
 			if l.rng.Bernoulli(ber) {
 				f.fec.InjectBitError(b)
+				l.bitErrsInjected.Inc()
 			}
 		}
 	}
 	return f
+}
+
+// Receive runs FEC decode on a frame arriving over this link, counting
+// corrections and detected-uncorrectable errors into the link's
+// observability counters. Semantics match the package-level Receive.
+func (l *Link) Receive(f Frame) (Frame, int, bool) {
+	out, corrected, mbe := Receive(f)
+	l.framesRx.Inc()
+	l.sbesCorrected.Add(int64(corrected))
+	if mbe {
+		l.mbesDetected.Inc()
+	}
+	return out, corrected, mbe
 }
 
 // Receive runs FEC decode. It returns the delivered frame, the number of

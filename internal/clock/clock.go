@@ -21,6 +21,22 @@ import (
 // NominalFreqHz is the TSP core clock frequency used throughout the paper.
 const NominalFreqHz = 900_000_000
 
+// ClockMHz is the nominal core clock in MHz. Reporting code that converts
+// cycle counts to wall time must use this (or CyclesPerMicrosecond /
+// USOfCycles) rather than a literal 900.
+const ClockMHz = NominalFreqHz / 1_000_000
+
+// CyclesPerMicrosecond is the number of nominal core cycles in one
+// microsecond — numerically equal to ClockMHz, named for call sites that
+// convert durations.
+const CyclesPerMicrosecond = ClockMHz
+
+// USOfCycles converts a nominal-clock cycle count to microseconds, the
+// unit the paper's figures report. For drifting per-chip clocks use
+// Clock.CyclesToTime instead; this helper is for reporting against the
+// nominal 900 MHz.
+func USOfCycles(cycles int64) float64 { return float64(cycles) / CyclesPerMicrosecond }
+
 // NominalCyclePs is the nominal core clock period in picoseconds (1/900MHz ≈
 // 1111.1 ps). Kept as integer numerator/denominator: period = PsPerSecond /
 // freq, computed exactly per-cycle-count below.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/c2c"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/route"
 	"repro/internal/topo"
@@ -33,8 +34,8 @@ type Result struct {
 	Schedule *core.CommSchedule
 }
 
-// Microseconds converts the cycle count at the 900 MHz core clock.
-func (r Result) Microseconds() float64 { return float64(r.Cycles) / 900 }
+// Microseconds converts the cycle count at the nominal core clock.
+func (r Result) Microseconds() float64 { return clock.USOfCycles(r.Cycles) }
 
 // BusBandwidthGBps reports the collective's realized bandwidth using the
 // nccl-tests "bus bandwidth" convention the paper's Fig 16 cites:
@@ -44,7 +45,7 @@ func (r Result) BusBandwidthGBps() float64 {
 		return 0
 	}
 	n := float64(r.Participants)
-	seconds := float64(r.Cycles) / 900e6
+	seconds := float64(r.Cycles) / float64(clock.NominalFreqHz)
 	return 2 * (n - 1) / n * float64(r.Bytes) / seconds / 1e9
 }
 

@@ -10,10 +10,12 @@
 // compiler estimate land within 2 % of measured silicon.
 package compiler
 
+import "repro/internal/clock"
+
 // TSP rate constants (§5.2: K=160 FP16 / K=320 INT8 vector lengths, two
 // FP16 or four INT8 [1×K]×[K×320] sub-operations per cycle at 900 MHz).
 const (
-	TSPClockHz = 900_000_000
+	TSPClockHz = clock.NominalFreqHz
 	// FP16 geometry.
 	FP16RowsPerTile    = 160
 	FP16SubOpsPerCycle = 2

@@ -3,6 +3,8 @@ package compiler
 import (
 	"math"
 	"testing"
+
+	"repro/internal/clock"
 )
 
 func TestPeakRates(t *testing.T) {
@@ -208,7 +210,7 @@ func TestBERTConfigs(t *testing.T) {
 func TestBERTLargeLatencyBallpark(t *testing.T) {
 	c := BERTLarge()
 	totalCycles := int64(c.Layers) * c.LayerCycles()
-	us := float64(totalCycles) / 900 // cycles → µs at 900 MHz
+	us := clock.USOfCycles(totalCycles)
 	if us < 700 || us > 1400 {
 		t.Fatalf("BERT-Large compute = %.0f µs, want ~0.9-1.3 ms", us)
 	}

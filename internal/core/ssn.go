@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/topo"
 )
@@ -153,6 +154,10 @@ func ScheduleTransfers(sys *topo.System, transfers []Transfer) (*CommSchedule, e
 		byID[tr.ID] = &st
 		cs.Transfers = append(cs.Transfers, st)
 	}
+	// Feed the process-global observability sink (nil-safe no-op when no
+	// recorder is installed), so every compiled schedule in every
+	// experiment shows up in -trace/-metrics output.
+	cs.RecordObservability(obs.Get())
 	return cs, nil
 }
 
@@ -397,8 +402,27 @@ func CompileGraph(sys *topo.System, g *graph.Graph, deviceToTSP func(int) topo.T
 		os.Makespan = cs.Makespan
 	}
 	os.Comms = cs
+	if rec := obs.Get(); rec != nil {
+		// The compiled timeline: every op's statically known start and
+		// duration on its device, on a "compiled" track distinct from
+		// the functional-unit tracks actual execution writes.
+		for _, op := range g.Ops() {
+			pid := int(deviceToTSP(op.Device))
+			rec.SetProcessName(pid, fmt.Sprintf("tsp%d", pid))
+			rec.SetThreadName(pid, compiledTid, "compiled")
+			rec.SpanCycles(pid, compiledTid, op.Name, os.Starts[op.ID], op.Cycles)
+		}
+		rec.Counter("ssn.compiled_ops").Add(int64(nOps))
+		rec.Gauge("ssn.graph_makespan_cycles").Set(os.Makespan)
+		cs.RecordObservability(rec)
+	}
 	return os, nil
 }
+
+// compiledTid is the per-chip trace track carrying the compiler's
+// predicted op timeline (functional units occupy tids 0..NumUnits-1,
+// links obs.TidLinkBase+).
+const compiledTid = 50
 
 // scheduleOne spreads and reserves one transfer on an existing fabric,
 // appending to the schedule. Shared by CompileGraph.

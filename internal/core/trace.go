@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/topo"
 )
@@ -12,7 +14,8 @@ import (
 // Schedule tracing: render a compiled CommSchedule as a per-link waterfall,
 // the textual equivalent of the timeline a hardware team would pull from a
 // logic analyzer — except here it is exact and available before the machine
-// runs.
+// runs. For machine-readable output, RecordObservability exports the same
+// information through the obs registry and trace sink.
 
 // TraceOptions controls rendering.
 type TraceOptions struct {
@@ -26,7 +29,8 @@ type TraceOptions struct {
 
 // Trace renders the schedule. Each row is one link; each column covers
 // CyclesPerChar cycles; a column is marked with the transfer id (mod 10)
-// that occupies it, '.' when idle.
+// that occupies it, '.' when idle. A ruler row labels the columns in
+// microseconds of the nominal core clock.
 func (cs *CommSchedule) Trace(sys *topo.System, opt TraceOptions) string {
 	if opt.CyclesPerChar <= 0 {
 		opt.CyclesPerChar = route.SlotCycles
@@ -58,8 +62,10 @@ func (cs *CommSchedule) Trace(sys *topo.System, opt TraceOptions) string {
 		cols = opt.MaxWidth
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "schedule trace: %d transfers, %d vectors, makespan %d cycles (%.1f µs); 1 col = %d cycles\n",
-		len(cs.Transfers), len(cs.Slots), cs.Makespan, float64(cs.Makespan)/900, opt.CyclesPerChar)
+	fmt.Fprintf(&b, "schedule trace: %d transfers, %d vectors, makespan %d cycles (%.1f µs); 1 col = %d cycles (%.3f µs)\n",
+		len(cs.Transfers), len(cs.Slots), cs.Makespan,
+		clock.USOfCycles(cs.Makespan), opt.CyclesPerChar, clock.USOfCycles(opt.CyclesPerChar))
+	b.WriteString(timeRuler(cols, opt.CyclesPerChar))
 	for _, l := range links {
 		occs := byLink[l]
 		if len(occs) == 0 {
@@ -82,15 +88,40 @@ func (cs *CommSchedule) Trace(sys *topo.System, opt TraceOptions) string {
 	return b.String()
 }
 
-// BusiestLinks returns the n links with the most reserved slots, for
-// hotspot analysis.
-func (cs *CommSchedule) BusiestLinks(n int) []topo.LinkID {
+// timeRuler renders the waterfall's time axis: a tick every 10 columns
+// labeled with the real time in microseconds at the nominal clock.
+func timeRuler(cols int, cyclesPerChar int64) string {
+	const tick = 10
+	ruler := make([]byte, cols)
+	for i := range ruler {
+		ruler[i] = ' '
+	}
+	for c := 0; c < cols; c += tick {
+		label := fmt.Sprintf("^%.1f", clock.USOfCycles(int64(c)*cyclesPerChar))
+		for i := 0; i < len(label) && c+i < cols; i++ {
+			ruler[c+i] = label[i]
+		}
+	}
+	// Align under the "|" of the waterfall rows ("L0000 xxx→yyy |...").
+	return fmt.Sprintf("%14s µs|%s|\n", "", ruler)
+}
+
+// LinkOccupancy returns the number of reserved vector slots per link — the
+// schedule's exact per-link traffic, known before anything runs.
+func (cs *CommSchedule) LinkOccupancy() map[topo.LinkID]int {
 	count := map[topo.LinkID]int{}
 	for _, s := range cs.Slots {
 		for _, l := range s.Route.Links {
 			count[l]++
 		}
 	}
+	return count
+}
+
+// BusiestLinks returns the n links with the most reserved slots, for
+// hotspot analysis.
+func (cs *CommSchedule) BusiestLinks(n int) []topo.LinkID {
+	count := cs.LinkOccupancy()
 	links := make([]topo.LinkID, 0, len(count))
 	for l := range count {
 		links = append(links, l)
@@ -105,4 +136,53 @@ func (cs *CommSchedule) BusiestLinks(n int) []topo.LinkID {
 		links = links[:n]
 	}
 	return links
+}
+
+// maxSlotSpans bounds how many per-slot trace spans one schedule exports;
+// beyond it only counters are recorded (a 2 GiB All-Reduce schedules
+// millions of vector slots — the registry stays exact, the trace stays
+// loadable).
+const maxSlotSpans = 20_000
+
+// RecordObservability exports the schedule into the obs registry and trace
+// sink: per-link occupancy counters (ssn.link_slots{link=...}), aggregate
+// transfer/slot counters, and — for schedules small enough to render — one
+// trace span per reserved slot on its link's track (pid obs.PidFabric,
+// tid = link id). Safe on a nil recorder.
+func (cs *CommSchedule) RecordObservability(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	occ := cs.LinkOccupancy()
+	ids := make([]topo.LinkID, 0, len(occ))
+	for l := range occ {
+		ids = append(ids, l)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, l := range ids {
+		rec.Counter("ssn.link_slots", obs.L("link", fmt.Sprintf("L%04d", l))).Add(int64(occ[l]))
+	}
+	rec.Counter("ssn.transfers").Add(int64(len(cs.Transfers)))
+	rec.Counter("ssn.vector_slots").Add(int64(len(cs.Slots)))
+	rec.Gauge("ssn.makespan_cycles").Set(cs.Makespan)
+
+	slotSpans := 0
+	for _, s := range cs.Slots {
+		for range s.Route.Links {
+			slotSpans++
+		}
+	}
+	if slotSpans > maxSlotSpans {
+		rec.Counter("ssn.slot_spans_suppressed").Add(int64(slotSpans))
+		return
+	}
+	rec.SetProcessName(obs.PidFabric, "fabric")
+	for _, s := range cs.Slots {
+		t := s.Depart
+		for _, l := range s.Route.Links {
+			rec.SetThreadName(obs.PidFabric, int(l), fmt.Sprintf("L%04d", l))
+			rec.SpanCycles(obs.PidFabric, int(l), fmt.Sprintf("t%d", s.Transfer), t, route.SlotCycles)
+			t += route.HopCycles
+		}
+	}
 }

@@ -1,7 +1,10 @@
 package hac
 
 import (
+	"sort"
+
 	"repro/internal/c2c"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -125,6 +128,21 @@ func AlignProgramStart(tree *Tree, invoke sim.Time) TreeAlignmentResult {
 	}
 	res.Spread = maxT - minT
 	res.OverheadCycles = tree.Root.Clock.CycleAt(maxT) - tree.Root.Clock.CycleAt(invoke)
+	if rec := obs.Get(); rec != nil {
+		// Iterate in device-id order: trace event order must not depend
+		// on map iteration.
+		ids := make([]int, 0, len(res.Starts))
+		for id := range res.Starts {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			rec.SetThreadName(id, hacTid, "hac")
+			rec.InstantUS(id, hacTid, "hac.program_start", res.Starts[id].Microseconds())
+		}
+		rec.Gauge("hac.start_spread_ps").Set(int64(res.Spread))
+		rec.Gauge("hac.sync_overhead_cycles").Set(res.OverheadCycles)
+	}
 	return res
 }
 

@@ -21,9 +21,14 @@ import (
 
 	"repro/internal/c2c"
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// hacTid is the trace track used for HAC events on a device's pid (well
+// above the functional-unit tracks).
+const hacTid = 90
 
 // Counter period constants (§3.2 footnote: 8-bit HAC, 4 control codes).
 const (
@@ -115,6 +120,7 @@ func signedMod(x, m int64) int64 {
 // reflects it, and the parent halves the observed round trip. It returns the
 // per-iteration latency estimates as a summary — one row of Table 2.
 func CharacterizeLink(link *c2c.Link, iters int) *stats.Summary {
+	obs.Get().Counter("hac.reflect_pings").Add(int64(iters))
 	s := stats.NewSummary()
 	for i := 0; i < iters; i++ {
 		rtt := link.DrawLatencyCycles() + link.DrawLatencyCycles()
@@ -175,6 +181,23 @@ type AlignResult struct {
 // within tol cycles for 8 consecutive iterations, or maxIters is reached.
 // The paper bounds convergence by roughly the HAC period; so do we.
 func (e *Edge) Align(start sim.Time, maxStep, tol int64, maxIters int) AlignResult {
+	rec := obs.Get()
+	if rec != nil {
+		rec.SetThreadName(e.Child.ID, hacTid, "hac")
+	}
+	finish := func(r AlignResult) AlignResult {
+		rec.Counter("hac.align_rounds").Add(int64(r.Iterations))
+		if r.Converged {
+			rec.Counter("hac.edges_converged").Inc()
+		} else {
+			rec.Counter("hac.edges_diverged").Inc()
+		}
+		if rec != nil {
+			rec.SpanUS(e.Child.ID, hacTid, "hac.align",
+				start.Microseconds(), (r.End - start).Microseconds())
+		}
+		return r
+	}
 	t := start
 	stable := 0
 	var last int64
@@ -185,13 +208,13 @@ func (e *Edge) Align(start sim.Time, maxStep, tol int64, maxIters int) AlignResu
 		if abs(last) <= tol {
 			stable++
 			if stable >= 8 {
-				return AlignResult{Iterations: i, FinalError: last, Converged: true, End: t}
+				return finish(AlignResult{Iterations: i, FinalError: last, Converged: true, End: t})
 			}
 		} else {
 			stable = 0
 		}
 	}
-	return AlignResult{Iterations: maxIters, FinalError: last, Converged: false, End: t}
+	return finish(AlignResult{Iterations: maxIters, FinalError: last, Converged: false, End: t})
 }
 
 func abs(x int64) int64 {

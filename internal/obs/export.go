@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// traceEvent is the Chrome trace-event JSON wire form. See
+// the Trace Event Format spec; Perfetto and chrome://tracing load it.
+type traceEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  *float64        `json:"dur,omitempty"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	S    string          `json:"s,omitempty"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+// traceFile is the object form of the trace format: an event array plus
+// display hints.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace exports the recorded events as Chrome trace-event JSON.
+// Output is deterministic: metadata events sort by pid/tid, data events
+// keep append order (the simulation is single-threaded). Timestamps are
+// microseconds, the format's native unit.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ns"}`+"\n")
+		return err
+	}
+	out := traceFile{DisplayTimeUnit: "ns", TraceEvents: []traceEvent{}}
+	// Metadata: process and thread names, sorted for stable output.
+	pids := make([]int, 0, len(r.procs))
+	for pid := range r.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		args := json.RawMessage(fmt.Sprintf(`{"name":%q}`, r.procs[pid]))
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Args: args,
+		})
+	}
+	tkeys := make([][2]int, 0, len(r.threads))
+	for k := range r.threads {
+		tkeys = append(tkeys, k)
+	}
+	sort.Slice(tkeys, func(i, j int) bool {
+		if tkeys[i][0] != tkeys[j][0] {
+			return tkeys[i][0] < tkeys[j][0]
+		}
+		return tkeys[i][1] < tkeys[j][1]
+	})
+	for _, k := range tkeys {
+		args := json.RawMessage(fmt.Sprintf(`{"name":%q}`, r.threads[k]))
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: k[0], Tid: k[1], Args: args,
+		})
+	}
+	for _, e := range r.events {
+		te := traceEvent{Name: e.name, Ph: string(e.ph), Ts: e.ts, Pid: e.pid, Tid: e.tid}
+		if e.ph == 'X' {
+			d := e.dur
+			te.Dur = &d
+		}
+		if e.ph == 'i' {
+			te.S = "t" // thread-scoped instant
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// histDump is the metrics-JSON form of one histogram: integer bin counts
+// over an explicit shape, so the dump is bit-identical across runs.
+type histDump struct {
+	Origin    float64 `json:"origin"`
+	Width     float64 `json:"width"`
+	Bins      int     `json:"bins"`
+	Total     int64   `json:"total"`
+	Underflow int64   `json:"underflow"`
+	Overflow  int64   `json:"overflow"`
+	Counts    []int64 `json:"counts"`
+}
+
+// metricsFile is the flat metrics dump. encoding/json emits map keys in
+// sorted order, which (with integer values) makes the dump deterministic.
+type metricsFile struct {
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]int64    `json:"gauges"`
+	Histograms map[string]histDump `json:"histograms"`
+}
+
+// WriteMetrics exports every registered counter, gauge, and histogram as
+// a flat JSON document keyed by canonical metric name.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	out := metricsFile{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]histDump{},
+	}
+	if r != nil {
+		for k, c := range r.counters {
+			out.Counters[k] = c.Value()
+		}
+		for k, g := range r.gauges {
+			out.Gauges[k] = g.Value()
+		}
+		for k, h := range r.hists {
+			sh := h.Hist()
+			d := histDump{
+				Origin:    sh.BinStart(0),
+				Width:     sh.BinStart(1) - sh.BinStart(0),
+				Bins:      sh.Bins(),
+				Total:     sh.Total(),
+				Underflow: sh.Underflow(),
+				Overflow:  sh.Overflow(),
+				Counts:    make([]int64, sh.Bins()),
+			}
+			for i := 0; i < sh.Bins(); i++ {
+				d.Counts[i] = sh.Count(i)
+			}
+			out.Histograms[k] = d
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteTraceFile writes the trace to a file path.
+func (r *Recorder) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteMetricsFile writes the metrics dump to a file path.
+func (r *Recorder) WriteMetricsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteMetrics(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

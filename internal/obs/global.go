@@ -1,0 +1,20 @@
+package obs
+
+// The process-global default recorder. Components attach it at
+// construction time (tsp.New, runtime.New, c2c.New, ...) so a CLI flag
+// like `tspsim -trace out.json` can observe every experiment without
+// threading a recorder through each workload's signature.
+//
+// The global is intentionally a plain variable with no lock: the
+// simulation kernel is single-threaded by design (see internal/sim), and
+// the race-enabled CI run enforces that no concurrent access appears.
+// When no recorder is installed, Get returns nil and every instrumented
+// path degrades to a nil-check.
+var active *Recorder
+
+// Set installs (or, with nil, removes) the process-global recorder.
+func Set(r *Recorder) { active = r }
+
+// Get returns the process-global recorder, or nil when observability is
+// off.
+func Get() *Recorder { return active }

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestNilRecorderIsSafe exercises every method on a nil recorder and nil
+// handles: the zero value must be a complete no-op.
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	c := r.Counter("x", L("a", "b"))
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("y")
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge stored")
+	}
+	h := r.Histogram("z", 0, 1, 10)
+	h.Add(5)
+	if h.Hist() != nil {
+		t.Fatal("nil histogram exposed data")
+	}
+	r.SpanUS(0, 0, "s", 0, 1)
+	r.SpanCycles(0, 0, "s", 0, 900)
+	r.InstantUS(0, 0, "i", 0)
+	r.InstantCycles(0, 0, "i", 900)
+	r.SetProcessName(0, "p")
+	r.SetThreadName(0, 0, "t")
+	if r.NumEvents() != 0 {
+		t.Fatal("nil recorder recorded events")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("nil WriteTrace: %v", err)
+	}
+	var tf struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("nil trace not valid JSON: %v", err)
+	}
+	buf.Reset()
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatalf("nil WriteMetrics: %v", err)
+	}
+}
+
+// TestCounterAggregation checks that the same canonical key (regardless of
+// label order) resolves to one shared counter.
+func TestCounterAggregation(t *testing.T) {
+	r := New()
+	a := r.Counter("c2c.frames_tx", L("chip", "0"), L("link", "3"))
+	b := r.Counter("c2c.frames_tx", L("link", "3"), L("chip", "0"))
+	if a != b {
+		t.Fatal("label order changed counter identity")
+	}
+	a.Add(2)
+	b.Inc()
+	if a.Value() != 3 {
+		t.Fatalf("aggregate = %d, want 3", a.Value())
+	}
+	if r.Counter("c2c.frames_tx") == a {
+		t.Fatal("unlabeled counter aliased the labeled one")
+	}
+}
+
+// TestTraceShape checks the exported trace is the Chrome trace-event
+// format: an array of {name, ph, ts, pid, tid} objects with metadata
+// naming the tracks.
+func TestTraceShape(t *testing.T) {
+	r := New()
+	r.SetProcessName(0, "tsp0")
+	r.SetThreadName(0, 3, "mxm")
+	r.SpanCycles(0, 3, "matmul", 900, 1800) // 1 µs @ 900 MHz, 2 µs long
+	r.InstantCycles(0, 3, "fault", 4500)
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  int      `json:"pid"`
+			Tid  int      `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(tf.TraceEvents) != 4 { // 2 metadata + span + instant
+		t.Fatalf("got %d events, want 4", len(tf.TraceEvents))
+	}
+	span := tf.TraceEvents[2]
+	if span.Name != "matmul" || span.Ph != "X" || span.Ts != 1 || span.Dur == nil || *span.Dur != 2 {
+		t.Fatalf("span mis-encoded: %+v", span)
+	}
+	inst := tf.TraceEvents[3]
+	if inst.Ph != "i" || inst.Ts != 5 || inst.Pid != 0 || inst.Tid != 3 {
+		t.Fatalf("instant mis-encoded: %+v", inst)
+	}
+}
+
+// TestMetricsShape checks the flat dump carries integer counters/gauges
+// and full histogram bin counts.
+func TestMetricsShape(t *testing.T) {
+	r := New()
+	r.Counter("tsp.instructions", Li("chip", 0), L("unit", "mxm")).Add(42)
+	r.Gauge("bert.estimate_cycles").Set(12345)
+	h := r.Histogram("serve.latency_us", 0, 5, 4)
+	h.Add(2)  // bin 0
+	h.Add(12) // bin 2
+	h.Add(99) // overflow
+
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var mf struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Total    int64   `json:"total"`
+			Overflow int64   `json:"overflow"`
+			Counts   []int64 `json:"counts"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &mf); err != nil {
+		t.Fatalf("invalid metrics JSON: %v", err)
+	}
+	if mf.Counters["tsp.instructions{chip=0,unit=mxm}"] != 42 {
+		t.Fatalf("counter missing: %v", mf.Counters)
+	}
+	if mf.Gauges["bert.estimate_cycles"] != 12345 {
+		t.Fatalf("gauge missing: %v", mf.Gauges)
+	}
+	hd, ok := mf.Histograms["serve.latency_us"]
+	if !ok {
+		t.Fatalf("histogram missing: %v", mf.Histograms)
+	}
+	if hd.Total != 3 || hd.Overflow != 1 || len(hd.Counts) != 4 || hd.Counts[0] != 1 || hd.Counts[2] != 1 {
+		t.Fatalf("histogram mis-dumped: %+v", hd)
+	}
+}
+
+// TestDeterministicDumps replays the same recording twice and requires
+// byte-identical trace and metrics output.
+func TestDeterministicDumps(t *testing.T) {
+	record := func() *Recorder {
+		r := New()
+		for pid := 4; pid >= 0; pid-- { // deliberately unsorted creation
+			r.SetProcessName(pid, "tsp")
+			r.SetThreadName(pid, 2, "vxm")
+			r.Counter("tsp.instructions", Li("chip", pid)).Add(int64(pid))
+			r.SpanCycles(pid, 2, "vadd", int64(pid)*10, 7)
+		}
+		r.Histogram("h", 0, 1, 8).Add(3.5)
+		return r
+	}
+	var t1, t2, m1, m2 bytes.Buffer
+	if err := record().WriteTrace(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := record().WriteTrace(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Fatal("trace dumps differ between identical recordings")
+	}
+	if err := record().WriteMetrics(&m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := record().WriteMetrics(&m2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1.Bytes(), m2.Bytes()) {
+		t.Fatal("metrics dumps differ between identical recordings")
+	}
+}
+
+// TestGlobalDefault checks Set/Get wiring.
+func TestGlobalDefault(t *testing.T) {
+	if Get() != nil {
+		t.Fatal("global recorder unexpectedly set")
+	}
+	r := New()
+	Set(r)
+	if Get() != r {
+		t.Fatal("Get did not return the installed recorder")
+	}
+	Set(nil)
+	if Get() != nil {
+		t.Fatal("Set(nil) did not clear")
+	}
+}

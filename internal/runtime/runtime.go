@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/c2c"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -36,6 +37,12 @@ type Cluster struct {
 	links     map[topo.LinkID]*c2c.Link
 	Corrected int64
 	MBEs      int64
+
+	// Observability (nil-safe; attached from obs.Get at construction).
+	rec        *obs.Recorder
+	vectors    *obs.Counter
+	underflows *obs.Counter
+	linkVecs   map[topo.LinkID]*obs.Counter
 }
 
 // mailbox is one chip's inbound message queues, per local link index.
@@ -75,6 +82,12 @@ func New(sys *topo.System, programs []*isa.Program) (*Cluster, error) {
 		return nil, fmt.Errorf("runtime: %d programs for %d TSPs", len(programs), sys.NumTSPs())
 	}
 	cl := &Cluster{sys: sys}
+	if rec := obs.Get(); rec != nil {
+		cl.rec = rec
+		cl.vectors = rec.Counter("runtime.vectors_delivered")
+		cl.underflows = rec.Counter("runtime.receiver_underflows")
+		cl.linkVecs = map[topo.LinkID]*obs.Counter{}
+	}
 	for t := 0; t < sys.NumTSPs(); t++ {
 		var prog *isa.Program
 		if t < len(programs) && programs[t] != nil {
@@ -110,20 +123,40 @@ func (cl *Cluster) deliver(src topo.TSPID, link int, v tsp.Vector, cycle int64) 
 		panic(fmt.Sprintf("runtime: chip %d has no link %d", src, link))
 	}
 	l := cl.sys.Link(out[link])
+	if cl.rec != nil {
+		cl.vectors.Inc()
+		lc, ok := cl.linkVecs[l.ID]
+		if !ok {
+			lc = cl.rec.Counter("runtime.link_vectors", obs.L("link", fmt.Sprintf("L%04d", l.ID)))
+			cl.linkVecs[l.ID] = lc
+		}
+		lc.Inc()
+		// The transfer renders on the sender's link track: pid = source
+		// chip, tid = TidLinkBase + local link index.
+		tid := obs.TidLinkBase + link
+		cl.rec.SetThreadName(int(src), tid, fmt.Sprintf("link%d", link))
+		cl.rec.SpanCycles(int(src), tid, "c2c.tx", cycle, route.HopCycles)
+	}
 	if cl.ber > 0 {
 		phys, ok := cl.links[l.ID]
 		if !ok {
 			cfg := l.Cable
 			cfg.BitErrorRate = cl.ber
 			phys = c2c.New(cfg, cl.errRNG.Fork(uint64(l.ID)))
+			if cl.rec != nil {
+				phys.Instrument(cl.rec, obs.L("link", fmt.Sprintf("L%04d", l.ID)))
+			}
 			cl.links[l.ID] = phys
 		}
 		var frame c2c.Frame
 		frame.Payload = [c2c.VectorBytes]byte(v)
-		rx, corrected, mbe := c2c.Receive(phys.Transmit(frame))
+		rx, corrected, mbe := phys.Receive(phys.Transmit(frame))
 		cl.Corrected += int64(corrected)
 		if mbe {
 			cl.MBEs++
+			if cl.rec != nil {
+				cl.rec.InstantCycles(int(src), obs.TidLinkBase+link, "c2c.mbe", cycle)
+			}
 		}
 		v = tsp.Vector(rx.Payload)
 	}
@@ -151,6 +184,7 @@ func (cl *Cluster) take(dst topo.TSPID, link int, cycle int64) (tsp.Vector, bool
 	mb := cl.posts[dst]
 	q := mb.queues[link]
 	if len(q) == 0 || q[0].arrival > cycle {
+		cl.underflows.Inc()
 		return tsp.Vector{}, false
 	}
 	v := q[0].v
@@ -212,6 +246,7 @@ func (cl *Cluster) Run() (int64, error) {
 // resources. Returns the finish cycle, the number of attempts used, and
 // the last error if all attempts failed.
 func RunWithReplay(build func(attempt int) (*Cluster, error), maxAttempts int) (int64, int, error) {
+	rec := obs.Get()
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		cl, err := build(attempt)
@@ -220,9 +255,17 @@ func RunWithReplay(build func(attempt int) (*Cluster, error), maxAttempts int) (
 		}
 		finish, err := cl.Run()
 		if err == nil {
+			if attempt > 1 {
+				rec.Counter("runtime.replays_recovered").Inc()
+			}
 			return finish, attempt, nil
 		}
 		lastErr = err
+		rec.Counter("runtime.replay_attempts").Inc()
+		if rec != nil {
+			rec.InstantCycles(obs.PidFabric, 0, "runtime.replay", finish)
+		}
 	}
+	rec.Counter("runtime.replays_exhausted").Inc()
 	return 0, maxAttempts, fmt.Errorf("runtime: replay budget exhausted: %w", lastErr)
 }

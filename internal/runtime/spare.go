@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -71,12 +72,16 @@ func (a *Allocation) FailNode(n topo.NodeID) error {
 	}
 	a.failed[n] = true
 	base := topo.TSPID(int(a.spare) * topo.TSPsPerNode)
+	moved := int64(0)
 	for d, t := range a.tspOf {
 		if t.Node() == n {
 			a.tspOf[d] = base + topo.TSPID(t.LocalIndex())
+			moved++
 		}
 	}
 	a.spare = -1
+	obs.Get().Counter("runtime.spare_failovers").Inc()
+	obs.Get().Counter("runtime.devices_remapped").Add(moved)
 	return nil
 }
 

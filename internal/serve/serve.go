@@ -13,8 +13,16 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
+
+// serveTid is the host-side trace track carrying request-lifecycle spans.
+const serveTid = 1
+
+// maxRequestSpans bounds trace spans per Run call; counters and the
+// latency histogram always cover every request.
+const maxRequestSpans = 1000
 
 // Config describes a serving scenario.
 type Config struct {
@@ -52,6 +60,19 @@ func Run(cfg Config) (Result, error) {
 	rng := sim.NewRNG(cfg.Seed)
 	meanGapUS := 1e6 / cfg.ArrivalRatePerSec
 
+	rec := obs.Get()
+	var reqCount, queuedCount *obs.Counter
+	var latHist *obs.Histogram
+	if rec != nil {
+		rec.SetProcessName(obs.PidHost, "host")
+		rec.SetThreadName(obs.PidHost, serveTid, "serve")
+		reqCount = rec.Counter("serve.requests")
+		queuedCount = rec.Counter("serve.requests_queued")
+		// Bins of 100 µs up to 50 ms cover the paper's serving latencies;
+		// the overflow bin catches saturation tails exactly.
+		latHist = rec.Histogram("serve.latency_us", 0, 100, 500)
+	}
+
 	// The pipeline admits a new inference every ServiceUS (initiation
 	// interval), with PipelineDepth in flight; a request's latency is
 	// wait-for-slot + PipelineDepth·ServiceUS (fill) — modeled as a
@@ -78,6 +99,18 @@ func Run(cfg Config) (Result, error) {
 		lat = append(lat, done-arrival)
 		if done > lastDone {
 			lastDone = done
+		}
+		if rec != nil {
+			reqCount.Inc()
+			if start > arrival {
+				queuedCount.Inc()
+			}
+			latHist.Add(done - arrival)
+			if i < maxRequestSpans {
+				rec.SpanUS(obs.PidHost, serveTid, fmt.Sprintf("req%d", i), arrival, done-arrival)
+			} else if i == maxRequestSpans {
+				rec.Counter("serve.request_spans_suppressed").Add(int64(cfg.Requests - maxRequestSpans))
+			}
 		}
 	}
 	sort.Float64s(lat)

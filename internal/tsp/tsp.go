@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Architectural constants.
@@ -155,6 +156,14 @@ type Chip struct {
 	// busy accumulates non-NOP occupancy per unit for profiling.
 	busy [isa.NumUnits]int64
 
+	// Observability (nil when no recorder is attached — the zero-cost
+	// default for benchmarks). instrCount/busyCycles are pre-resolved
+	// per-unit handles so the execute hot path pays no map lookups.
+	rec        *obs.Recorder
+	instrCount [isa.NumUnits]*obs.Counter
+	busyCycles [isa.NumUnits]*obs.Counter
+	faultCount *obs.Counter
+
 	fault *Fault
 }
 
@@ -176,9 +185,32 @@ func (c *Chip) Utilization() [isa.NumUnits]float64 {
 	return out
 }
 
-// New creates a chip with fresh memory, loaded with the program.
+// New creates a chip with fresh memory, loaded with the program. The
+// process-global recorder (obs.Get), if any, is attached automatically so
+// CLI-level tracing observes every chip without plumbing.
 func New(id int, prog *isa.Program, c2c C2C) *Chip {
-	return &Chip{ID: id, Mem: mem.NewSRAM(), prog: prog, c2c: c2c}
+	c := &Chip{ID: id, Mem: mem.NewSRAM(), prog: prog, c2c: c2c}
+	c.AttachRecorder(obs.Get())
+	return c
+}
+
+// AttachRecorder wires the chip's instrumentation to rec (nil detaches).
+// Per-instruction spans render in Perfetto as pid=chip, tid=functional
+// unit; counters follow the tsp.* naming scheme.
+func (c *Chip) AttachRecorder(rec *obs.Recorder) {
+	c.rec = rec
+	if rec == nil {
+		return
+	}
+	rec.SetProcessName(c.ID, fmt.Sprintf("tsp%d", c.ID))
+	chip := obs.Li("chip", c.ID)
+	for u := isa.Unit(0); u < isa.NumUnits; u++ {
+		rec.SetThreadName(c.ID, int(u), u.String())
+		unit := obs.L("unit", u.String())
+		c.instrCount[u] = rec.Counter("tsp.instructions", chip, unit)
+		c.busyCycles[u] = rec.Counter("tsp.busy_cycles", chip, unit)
+	}
+	c.faultCount = rec.Counter("tsp.faults", chip)
 }
 
 // SetDeskewDelta installs the drift oracle used by RUNTIME_DESKEW (the
@@ -238,7 +270,7 @@ func (c *Chip) Step() bool {
 	u, t, ok := c.NextIssue()
 	if !ok {
 		if !c.Done() && c.anyParked() {
-			c.fault = &Fault{Kind: ErrDeadlock, Cycle: c.FinishCycle()}
+			c.setFault(&Fault{Kind: ErrDeadlock, Cycle: c.FinishCycle()})
 		}
 		return false
 	}
@@ -269,6 +301,11 @@ func (c *Chip) execute(u isa.Unit, in isa.Instruction, t int64) {
 	adv := isa.Latency(in)
 	if in.Op != isa.Nop {
 		c.busy[u] += adv
+		if c.rec != nil {
+			c.instrCount[u].Inc()
+			c.busyCycles[u].Add(adv)
+			c.rec.SpanCycles(c.ID, int(u), in.Op.String(), t, adv)
+		}
 	}
 	switch in.Op {
 	case isa.Nop:
@@ -321,7 +358,7 @@ func (c *Chip) execute(u isa.Unit, in isa.Instruction, t int64) {
 		if c.c2c != nil {
 			v, ok := c.c2c.Recv(int(in.A), t)
 			if !ok {
-				c.fault = &Fault{Kind: ErrUnderflow, Unit: u, Cycle: t, Instr: in}
+				c.setFault(&Fault{Kind: ErrUnderflow, Unit: u, Cycle: t, Instr: in})
 				return
 			}
 			c.Streams[in.B%NumStreams] = v
@@ -330,7 +367,7 @@ func (c *Chip) execute(u isa.Unit, in isa.Instruction, t int64) {
 	case isa.Read:
 		data, ok := c.Mem.Read(memAddr(in))
 		if !ok {
-			c.fault = &Fault{Kind: ErrMemPoison, Unit: u, Cycle: t, Instr: in}
+			c.setFault(&Fault{Kind: ErrMemPoison, Unit: u, Cycle: t, Instr: in})
 			return
 		}
 		copy(c.Streams[int(in.Imm)%NumStreams][:], data)
@@ -466,6 +503,16 @@ func (c *Chip) execute(u isa.Unit, in isa.Instruction, t int64) {
 		return
 	}
 	c.cursor[u] = t + adv
+}
+
+// setFault records the chip's first execution fault, mirroring it into
+// the trace as an instant event on the faulting unit's track.
+func (c *Chip) setFault(f *Fault) {
+	c.fault = f
+	if c.rec != nil {
+		c.faultCount.Inc()
+		c.rec.InstantCycles(c.ID, int(f.Unit), "fault:"+f.Kind.String(), f.Cycle)
+	}
 }
 
 // memAddr decodes the (A=hemisphere*44+slice, B=bank, C=offset) operand

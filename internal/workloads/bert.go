@@ -4,12 +4,21 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/clock"
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
 )
+
+// bertTid is the host-side trace track carrying per-inference spans.
+const bertTid = 2
+
+// maxInferenceSpans bounds trace spans per experiment; the histogram and
+// counters always cover every simulated inference.
+const maxInferenceSpans = 2000
 
 // BERT experiments (§5.4, Figs 17, 18, 20).
 
@@ -79,9 +88,9 @@ func (d *BERTDeployment) EstimateCycles() int64 {
 	return d.PCIeInCycles + d.Schedule.Makespan + d.PCIeOutCycles
 }
 
-// EstimateMicros is EstimateCycles at 900 MHz.
+// EstimateMicros is EstimateCycles at the nominal core clock.
 func (d *BERTDeployment) EstimateMicros() float64 {
-	return float64(d.EstimateCycles()) / 900
+	return clock.USOfCycles(d.EstimateCycles())
 }
 
 // Fig17Result is the latency distribution experiment.
@@ -116,6 +125,7 @@ func Fig17(runs int, seed uint64) (*Fig17Result, error) {
 	sum := 0.0
 	p99src := make([]float64, 0, runs)
 	maxUS := 0.0
+	inst := newBERTInstrumentation("fig17", dep, origin)
 	for i := 0; i < runs; i++ {
 		us := dep.simulateOnce(rng)
 		hist.Add(us)
@@ -124,6 +134,7 @@ func Fig17(runs int, seed uint64) (*Fig17Result, error) {
 		if us > maxUS {
 			maxUS = us
 		}
+		inst.record(i, us)
 	}
 	mean := sum / float64(runs)
 	return &Fig17Result{
@@ -141,13 +152,56 @@ func Fig17(runs int, seed uint64) (*Fig17Result, error) {
 // engine scheduling, ~µs scale) and a rare heavier tail (host IRQ
 // coalescing), bounded by the runtime's transfer deadline.
 func (d *BERTDeployment) simulateOnce(rng *sim.RNG) float64 {
-	base := float64(d.EstimateCycles()) / 900
+	base := clock.USOfCycles(d.EstimateCycles())
 	jitter := math.Abs(rng.NormFloat64()) * 4.0 // µs, half-normal core
 	if rng.Float64() < 0.01 {
 		// Tail event: an extra host-side delay up to ~60 µs.
 		jitter += 20 + rng.Float64()*40
 	}
 	return base + jitter
+}
+
+// bertInstrumentation feeds one latency experiment into the obs registry:
+// an inference counter, a latency histogram mirroring the experiment's
+// binning, and back-to-back per-inference spans on the host timeline.
+type bertInstrumentation struct {
+	rec        *obs.Recorder
+	inferences *obs.Counter
+	latency    *obs.Histogram
+	suppressed *obs.Counter
+	// t is the host-timeline cursor in µs: inferences are drawn
+	// sequentially, so spans are laid end to end.
+	t float64
+}
+
+func newBERTInstrumentation(exp string, dep *BERTDeployment, histOrigin float64) *bertInstrumentation {
+	rec := obs.Get()
+	if rec == nil {
+		return &bertInstrumentation{}
+	}
+	rec.SetProcessName(obs.PidHost, "host")
+	rec.SetThreadName(obs.PidHost, bertTid, "bert:"+exp)
+	rec.Gauge("bert.estimate_cycles", obs.L("exp", exp)).Set(dep.EstimateCycles())
+	return &bertInstrumentation{
+		rec:        rec,
+		inferences: rec.Counter("bert.inferences", obs.L("exp", exp)),
+		latency:    rec.Histogram("bert.latency_us", histOrigin, 5, 200, obs.L("exp", exp)),
+		suppressed: rec.Counter("bert.inference_spans_suppressed", obs.L("exp", exp)),
+	}
+}
+
+func (b *bertInstrumentation) record(i int, us float64) {
+	if b.rec == nil {
+		return
+	}
+	b.inferences.Inc()
+	b.latency.Add(us)
+	if i < maxInferenceSpans {
+		b.rec.SpanUS(obs.PidHost, bertTid, fmt.Sprintf("inf%d", i), b.t, us)
+	} else {
+		b.suppressed.Inc()
+	}
+	b.t += us
 }
 
 // BERTBaseSingleTSP reproduces §5.4's companion claim: "when executing
@@ -166,6 +220,7 @@ func BERTBaseSingleTSP(runs int, seed uint64) (*Fig17Result, error) {
 	sum := 0.0
 	samples := make([]float64, 0, runs)
 	maxUS := 0.0
+	inst := newBERTInstrumentation("bertbase", dep, origin)
 	for i := 0; i < runs; i++ {
 		us := dep.simulateOnce(rng)
 		hist.Add(us)
@@ -174,6 +229,7 @@ func BERTBaseSingleTSP(runs int, seed uint64) (*Fig17Result, error) {
 		if us > maxUS {
 			maxUS = us
 		}
+		inst.record(i, us)
 	}
 	mean := sum / float64(runs)
 	return &Fig17Result{
@@ -293,12 +349,12 @@ func perDeviceBreakdownUS(d *BERTDeployment) (compute, comm []float64) {
 	compute = make([]float64, n)
 	comm = make([]float64, n)
 	for dev := 0; dev < n && dev < len(d.Schedule.DeviceBusy); dev++ {
-		compute[dev] = float64(d.Schedule.DeviceBusy[dev]) / 900
+		compute[dev] = clock.USOfCycles(d.Schedule.DeviceBusy[dev])
 	}
 	for _, tr := range d.Schedule.Comms.Transfers {
 		dev := int(tr.Dst)
 		if dev < n {
-			comm[dev] += float64(tr.Arrival-tr.Depart) / 900
+			comm[dev] += clock.USOfCycles(tr.Arrival - tr.Depart)
 		}
 	}
 	return compute, comm

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/topo"
 	"repro/internal/workloads"
@@ -189,3 +190,27 @@ func Encoder(p *EncoderParams, tokens [][]float32) ([][]float32, int64, error) {
 func FunctionalAllReduce(inputs [][]float32) ([][]float32, int64, error) {
 	return workloads.FunctionalAllReduce(inputs)
 }
+
+// Recorder is the deterministic observability registry and trace sink of
+// internal/obs. Install one with EnableObservability before constructing
+// systems/chips/clusters, run any workload, then write the dumps:
+//
+//	rec := tsm.EnableObservability()
+//	defer tsm.DisableObservability()
+//	... run experiments ...
+//	rec.WriteTraceFile("trace.json")   // Perfetto-loadable Chrome trace
+//	rec.WriteMetricsFile("metrics.json")
+//
+// With no recorder installed every instrumentation point is a nil-safe
+// no-op.
+type Recorder = obs.Recorder
+
+// EnableObservability installs (and returns) a fresh process-wide recorder.
+func EnableObservability() *Recorder {
+	r := obs.New()
+	obs.Set(r)
+	return r
+}
+
+// DisableObservability removes the process-wide recorder.
+func DisableObservability() { obs.Set(nil) }

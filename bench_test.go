@@ -17,10 +17,14 @@ import (
 	"repro/internal/collective"
 	"repro/internal/fabric"
 	"repro/internal/hac"
+	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/route"
+	rtime "repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
+	"repro/internal/tsp"
 	"repro/internal/workloads"
 )
 
@@ -256,6 +260,98 @@ func BenchmarkFig20CompilerOpt(b *testing.B) {
 	}
 	b.ReportMetric(100*res.ThroughputGain, "throughput-gain-%")
 }
+
+// clusterBenchCases are the workload × scale grid shared by the Seq and
+// Par cluster-executor benchmarks: the node-local ring all-reduce and the
+// 8-stage software pipeline from internal/runtime's workload generators,
+// at one node (8 chips), two nodes (16), and eight nodes (64).
+var clusterBenchCases = []struct {
+	name     string
+	pipeline bool
+	nodes    int
+}{
+	{"allreduce/8chip", false, 1},
+	{"allreduce/16chip", false, 2},
+	{"allreduce/64chip", false, 8},
+	{"pipeline/8chip", true, 1},
+	{"pipeline/16chip", true, 2},
+	{"pipeline/64chip", true, 8},
+}
+
+// buildBenchCluster constructs and preloads one benchmark cluster. Run
+// consumes cluster state, so each iteration rebuilds (outside the timer).
+func buildBenchCluster(b *testing.B, pipeline bool, nodes, workers int) *rtime.Cluster {
+	b.Helper()
+	const waves, matmuls, rounds = 8, 2, 7
+	sys, err := topo.New(topo.Config{Nodes: nodes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var progs []*isa.Program
+	if pipeline {
+		progs, err = rtime.PipelinePrograms(sys, waves, matmuls)
+	} else {
+		progs, err = rtime.RingAllReducePrograms(sys, rounds, matmuls)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := rtime.New(sys, progs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl.SetWorkers(workers)
+	for c := 0; c < sys.NumTSPs(); c++ {
+		v := tsp.VectorOf([]float32{float32(c + 1), 0.5 * float32(c), -float32(c % 3), 2})
+		if pipeline {
+			cl.Chip(c).Streams[rtime.PipeBias] = v
+			if c%topo.TSPsPerNode == 0 {
+				for w := 0; w < waves; w++ {
+					in := tsp.VectorOf([]float32{float32(c + w + 1)})
+					cl.Chip(c).Mem.Write(mem.Addr{Offset: w}, in[:])
+				}
+			}
+		} else {
+			cl.Chip(c).Streams[rtime.RingCur] = v
+			cl.Chip(c).Streams[rtime.RingAcc] = v
+		}
+	}
+	return cl
+}
+
+// benchClusterRun times Cluster.Run across the workload grid with the
+// given executor parallelism, reporting simulated cycles per wall second.
+func benchClusterRun(b *testing.B, workers int) {
+	for _, bc := range clusterBenchCases {
+		b.Run(bc.name, func(b *testing.B) {
+			var finish int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cl := buildBenchCluster(b, bc.pipeline, bc.nodes, workers)
+				b.StartTimer()
+				f, err := cl.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				finish = f
+			}
+			b.ReportMetric(float64(finish), "finish-cycles")
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(finish)*float64(b.N)/s/1e6, "Msim-cycles/s")
+			}
+		})
+	}
+}
+
+// BenchmarkClusterRunSeq times the sequential min-heap cluster executor.
+func BenchmarkClusterRunSeq(b *testing.B) { benchClusterRun(b, 1) }
+
+// BenchmarkClusterRunPar times the conservative window-parallel executor
+// (4 workers); its results are byte-identical to the sequential run, so
+// the two benchmarks measure the same simulation. Speedup requires real
+// parallel hardware: under GOMAXPROCS=1 the window machinery is pure
+// overhead and Par can trail Seq.
+func BenchmarkClusterRunPar(b *testing.B) { benchClusterRun(b, 4) }
 
 // BenchmarkSec56LatencyBound evaluates the hierarchical All-Reduce latency
 // floor on the 256-TSP system.

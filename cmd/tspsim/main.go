@@ -22,6 +22,11 @@
 //	tspsim -exp fit      model capacity planning over global SRAM
 //	tspsim -exp scaling  strong vs weak scaling study
 //	tspsim -exp serve    inference serving under load
+//	tspsim -exp par      window-parallel executor equivalence + speedup
+//
+// The -workers flag sets the cluster executor parallelism for every
+// experiment: 1 (default) is the sequential executor, n > 1 the
+// deterministic window-parallel executor — results are byte-identical.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/c2c"
 	"repro/internal/clock"
@@ -41,12 +47,18 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/route"
+	rtime "repro/internal/runtime"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
+	"repro/internal/tsp"
 	"repro/internal/workloads"
 )
+
+// workersN is the -workers flag value, visible to experiments that fan
+// work out themselves (serve sweeps, the par demo). Reset by run().
+var workersN = 1
 
 var experiments = []struct {
 	name string
@@ -75,6 +87,7 @@ var experiments = []struct {
 	{"fit", "model capacity planning over global SRAM", fit},
 	{"scaling", "strong vs weak scaling study", scaling},
 	{"serve", "inference serving under load", serveExp},
+	{"par", "window-parallel executor equivalence and speedup", parExp},
 }
 
 func main() {
@@ -90,9 +103,20 @@ func run(argv []string, errw io.Writer) int {
 	exp := fs.String("exp", "all", "experiment to run (or 'all')")
 	tracePath := fs.String("trace", "", "write a Perfetto-loadable Chrome trace JSON here")
 	metricsPath := fs.String("metrics", "", "write the flat metrics JSON here")
+	workers := fs.Int("workers", 1, "cluster executor parallelism: 1 = sequential, n>1 = deterministic window-parallel execution")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
+
+	// Executor parallelism: captured by every cluster built during the
+	// experiments. Restored afterwards so in-process callers (tests) see
+	// the default again.
+	workersN = *workers
+	prevWorkers := rtime.SetDefaultWorkers(*workers)
+	defer func() {
+		workersN = 1
+		rtime.SetDefaultWorkers(prevWorkers)
+	}()
 
 	// Observability: when either output is requested, install a process-wide
 	// recorder before any experiment constructs chips, links, or clusters —
@@ -565,7 +589,7 @@ func serveExp() error {
 	periodUS := clock.USOfCycles(dep.Schedule.Makespan) / 4
 	fmt.Printf("pipeline period %.0f µs (capacity %.0f inf/s)\n", periodUS, 1e6/periodUS)
 	fmt.Printf("%6s %12s %10s %10s %12s\n", "load", "through/s", "p50(us)", "p99(us)", "utilization")
-	rs, err := serve.SaturationSweep(periodUS, 4, []float64{0.2, 0.5, 0.8, 0.95}, 50_000, 9)
+	rs, err := serve.SaturationSweepParallel(periodUS, 4, []float64{0.2, 0.5, 0.8, 0.95}, 50_000, 9, workersN)
 	if err != nil {
 		return err
 	}
@@ -575,6 +599,90 @@ func serveExp() error {
 			100*load, r.Throughput, r.P50US, r.P99US, 100*r.Utilization)
 	}
 	fmt.Println("the machine contributes zero variance; every microsecond of spread is queueing")
+	return nil
+}
+
+// parExp demonstrates the conservative window-parallel cluster executor:
+// the same 16-chip ring all-reduce workload runs once on the sequential
+// min-heap executor and once window-parallel, and the results — finish
+// cycle, every stream register, the reduced sums — must match exactly.
+// The lookahead window is one C2C hop (650 cycles): a send issued inside
+// a window cannot land before the window ends, so chips within a window
+// are causally independent and free to step concurrently.
+func parExp() error {
+	fmt.Println("window-parallel executor — hop-bounded conservative lookahead")
+	sys, err := topo.New(topo.Config{Nodes: 2})
+	if err != nil {
+		return err
+	}
+	const rounds, matmuls = 7, 2
+	progs, err := rtime.RingAllReducePrograms(sys, rounds, matmuls)
+	if err != nil {
+		return err
+	}
+	build := func(workers int) (*rtime.Cluster, error) {
+		cl, err := rtime.New(sys, progs)
+		if err != nil {
+			return nil, err
+		}
+		cl.SetWorkers(workers)
+		for c := 0; c < sys.NumTSPs(); c++ {
+			v := tsp.VectorOf([]float32{float32(c + 1), float32(c) * 0.5})
+			cl.Chip(c).Streams[rtime.RingCur] = v
+			cl.Chip(c).Streams[rtime.RingAcc] = v
+		}
+		return cl, nil
+	}
+	workers := workersN
+	if workers < 2 {
+		workers = 4
+	}
+	seq, err := build(1)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	seqFinish, seqErr := seq.Run()
+	seqWall := time.Since(t0)
+	par, err := build(workers)
+	if err != nil {
+		return err
+	}
+	t0 = time.Now()
+	parFinish, parErr := par.Run()
+	parWall := time.Since(t0)
+	if seqErr != nil || parErr != nil {
+		return fmt.Errorf("par: run failed (seq=%v par=%v)", seqErr, parErr)
+	}
+	identical := seqFinish == parFinish
+	for c := 0; c < sys.NumTSPs() && identical; c++ {
+		identical = seq.Chip(c).Streams == par.Chip(c).Streams &&
+			seq.Chip(c).FinishCycle() == par.Chip(c).FinishCycle()
+	}
+	// After 7 rounds of the 8-chip ring, RingAcc is the node sum.
+	sums := make([]float32, sys.NumNodes())
+	for n := range sums {
+		for local := 0; local < topo.TSPsPerNode; local++ {
+			sums[n] += float32(n*topo.TSPsPerNode + local + 1)
+		}
+	}
+	reduced := true
+	for c := 0; c < sys.NumTSPs() && reduced; c++ {
+		acc := par.Chip(c).Streams[rtime.RingAcc].Floats()
+		reduced = acc[0] == sums[c/topo.TSPsPerNode]
+	}
+	fmt.Printf("workload: %d-chip ring all-reduce, %d rounds, %d matmuls/round\n",
+		sys.NumTSPs(), rounds, matmuls)
+	fmt.Printf("lookahead window: %d cycles (one C2C hop)\n", route.HopCycles)
+	fmt.Printf("sequential:          finish cycle %d   wall %v\n", seqFinish, seqWall)
+	fmt.Printf("parallel (%d worker): finish cycle %d   wall %v\n", workers, parFinish, parWall)
+	fmt.Printf("state byte-identical: %v   all-reduce sums correct: %v\n", identical, reduced)
+	if !identical || !reduced {
+		return fmt.Errorf("par: executor equivalence violated")
+	}
+	fmt.Println("cross-chip sends buffer per window and merge at the barrier in")
+	fmt.Println("(cycle, source, issue-order) order — the sequential interleave —")
+	fmt.Println("so counters, traces, and memories never depend on worker count")
 	return nil
 }
 

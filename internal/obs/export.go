@@ -30,28 +30,44 @@ type traceFile struct {
 
 // WriteTrace exports the recorded events as Chrome trace-event JSON.
 // Output is deterministic: metadata events sort by pid/tid, data events
-// keep append order (the simulation is single-threaded). Timestamps are
-// microseconds, the format's native unit.
+// sort by (ts, pid, tid, ph, name, dur). Sorting — not append order —
+// is what keeps the dump byte-identical when events were recorded from
+// several worker goroutines (the window-parallel cluster executor): the
+// event multiset is deterministic even when the interleaving is not.
+// Timestamps are microseconds, the format's native unit.
 func (r *Recorder) WriteTrace(w io.Writer) error {
 	if r == nil {
 		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ns"}`+"\n")
 		return err
 	}
+	// Snapshot the mutable state under the lock; sort and encode outside.
+	r.mu.Lock()
+	events := append([]event(nil), r.events...)
+	procs := make(map[int]string, len(r.procs))
+	for pid, name := range r.procs {
+		procs[pid] = name
+	}
+	threads := make(map[[2]int]string, len(r.threads))
+	for k, name := range r.threads {
+		threads[k] = name
+	}
+	r.mu.Unlock()
+
 	out := traceFile{DisplayTimeUnit: "ns", TraceEvents: []traceEvent{}}
 	// Metadata: process and thread names, sorted for stable output.
-	pids := make([]int, 0, len(r.procs))
-	for pid := range r.procs {
+	pids := make([]int, 0, len(procs))
+	for pid := range procs {
 		pids = append(pids, pid)
 	}
 	sort.Ints(pids)
 	for _, pid := range pids {
-		args := json.RawMessage(fmt.Sprintf(`{"name":%q}`, r.procs[pid]))
+		args := json.RawMessage(fmt.Sprintf(`{"name":%q}`, procs[pid]))
 		out.TraceEvents = append(out.TraceEvents, traceEvent{
 			Name: "process_name", Ph: "M", Pid: pid, Args: args,
 		})
 	}
-	tkeys := make([][2]int, 0, len(r.threads))
-	for k := range r.threads {
+	tkeys := make([][2]int, 0, len(threads))
+	for k := range threads {
 		tkeys = append(tkeys, k)
 	}
 	sort.Slice(tkeys, func(i, j int) bool {
@@ -61,12 +77,31 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 		return tkeys[i][1] < tkeys[j][1]
 	})
 	for _, k := range tkeys {
-		args := json.RawMessage(fmt.Sprintf(`{"name":%q}`, r.threads[k]))
+		args := json.RawMessage(fmt.Sprintf(`{"name":%q}`, threads[k]))
 		out.TraceEvents = append(out.TraceEvents, traceEvent{
 			Name: "thread_name", Ph: "M", Pid: k[0], Tid: k[1], Args: args,
 		})
 	}
-	for _, e := range r.events {
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		if a.tid != b.tid {
+			return a.tid < b.tid
+		}
+		if a.ph != b.ph {
+			return a.ph < b.ph
+		}
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.dur < b.dur
+	})
+	for _, e := range events {
 		te := traceEvent{Name: e.name, Ph: string(e.ph), Ts: e.ts, Pid: e.pid, Tid: e.tid}
 		if e.ph == 'X' {
 			d := e.dur
@@ -110,13 +145,29 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 		Histograms: map[string]histDump{},
 	}
 	if r != nil {
+		// Snapshot the registry maps under the lock; the handles themselves
+		// are safe to read concurrently.
+		r.mu.Lock()
+		counters := make(map[string]*Counter, len(r.counters))
 		for k, c := range r.counters {
+			counters[k] = c
+		}
+		gauges := make(map[string]*Gauge, len(r.gauges))
+		for k, g := range r.gauges {
+			gauges[k] = g
+		}
+		hists := make(map[string]*Histogram, len(r.hists))
+		for k, h := range r.hists {
+			hists[k] = h
+		}
+		r.mu.Unlock()
+		for k, c := range counters {
 			out.Counters[k] = c.Value()
 		}
-		for k, g := range r.gauges {
+		for k, g := range gauges {
 			out.Gauges[k] = g.Value()
 		}
-		for k, h := range r.hists {
+		for k, h := range hists {
 			sh := h.Hist()
 			d := histDump{
 				Origin:    sh.BinStart(0),

@@ -1,20 +1,23 @@
 package obs
 
+import "sync/atomic"
+
 // The process-global default recorder. Components attach it at
 // construction time (tsp.New, runtime.New, c2c.New, ...) so a CLI flag
 // like `tspsim -trace out.json` can observe every experiment without
 // threading a recorder through each workload's signature.
 //
-// The global is intentionally a plain variable with no lock: the
-// simulation kernel is single-threaded by design (see internal/sim), and
-// the race-enabled CI run enforces that no concurrent access appears.
-// When no recorder is installed, Get returns nil and every instrumented
-// path degrades to a nil-check.
-var active *Recorder
+// The global is an atomic pointer: installation happens before any
+// workload runs, but the window-parallel cluster executor (see
+// internal/runtime) may construct per-link instrumentation from worker
+// goroutines, so reads must be race-free. The Recorder itself is safe
+// for concurrent use. When no recorder is installed, Get returns nil
+// and every instrumented path degrades to a nil-check.
+var active atomic.Pointer[Recorder]
 
 // Set installs (or, with nil, removes) the process-global recorder.
-func Set(r *Recorder) { active = r }
+func Set(r *Recorder) { active.Store(r) }
 
 // Get returns the process-global recorder, or nil when observability is
 // off.
-func Get() *Recorder { return active }
+func Get() *Recorder { return active.Load() }

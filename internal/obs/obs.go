@@ -10,11 +10,19 @@
 //     same seed must produce byte-identical dumps. Counters and gauges are
 //     integer-valued, histograms carry integer bin counts (reusing
 //     internal/stats.Histogram), all exported maps are emitted in sorted
-//     key order, and trace events are emitted in append order (the
-//     simulation kernel is single-threaded, so append order is itself
-//     deterministic).
+//     key order, and trace events are sorted by (ts, pid, tid, ph, name,
+//     dur) at export time. Sorting — rather than append order — is what
+//     keeps dumps byte-identical now that the window-parallel cluster
+//     executor (internal/runtime) records from several goroutines: the
+//     *multiset* of events a run produces is deterministic even when the
+//     append interleaving is not.
 //
-//  2. Zero cost when disabled. Every handle (*Counter, *Gauge,
+//  2. Race-freedom. Counters and gauges are atomics, histograms and the
+//     trace sink are mutex-protected, so concurrently stepped chips can
+//     share one recorder. Values that commute (counter sums, histogram
+//     bins) are deterministic under any interleaving.
+//
+//  3. Zero cost when disabled. Every handle (*Counter, *Gauge,
 //     *Histogram) and the *Recorder itself are nil-safe: methods on nil
 //     receivers return immediately, so instrumented hot paths pay one
 //     predictable branch when no recorder is attached. The benchmarks in
@@ -33,6 +41,8 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/clock"
 	"repro/internal/stats"
@@ -82,13 +92,15 @@ func key(name string, labels []Label) string {
 }
 
 // Counter is a monotonically increasing integer. The nil counter is a
-// valid no-op sink.
-type Counter struct{ v int64 }
+// valid no-op sink. Increments are atomic so chips stepped on different
+// workers may share one counter; the sum is deterministic regardless of
+// interleaving.
+type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by n.
 func (c *Counter) Add(n int64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
@@ -100,16 +112,18 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
-// Gauge is a last-value-wins integer. The nil gauge is a valid no-op sink.
-type Gauge struct{ v int64 }
+// Gauge is a last-value-wins integer. The nil gauge is a valid no-op
+// sink. Concurrent writers would make "last" nondeterministic, so gauges
+// are only set from sequential code (barriers, experiment epilogues).
+type Gauge struct{ v atomic.Int64 }
 
 // Set records the gauge value.
 func (g *Gauge) Set(v int64) {
 	if g != nil {
-		g.v = v
+		g.v.Store(v)
 	}
 }
 
@@ -118,16 +132,23 @@ func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return g.v.Load()
 }
 
-// Histogram wraps a stats.Histogram behind a nil-safe handle.
-type Histogram struct{ h *stats.Histogram }
+// Histogram wraps a stats.Histogram behind a nil-safe, mutex-protected
+// handle. Bin increments commute, so totals are deterministic under
+// concurrent recording.
+type Histogram struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
 
 // Add records a sample.
 func (h *Histogram) Add(x float64) {
 	if h != nil {
+		h.mu.Lock()
 		h.h.Add(x)
+		h.mu.Unlock()
 	}
 }
 
@@ -154,8 +175,11 @@ type event struct {
 // (nil) is a fully functional no-op: every method checks the receiver, so
 // instrumented code never needs its own guard for correctness — explicit
 // `if rec != nil` guards exist only to skip argument construction on hot
-// paths.
+// paths. All methods are safe for concurrent use; handle resolution
+// (Counter/Gauge/Histogram) is expected on setup paths, the per-event
+// span/instant calls take one short mutex.
 type Recorder struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -187,11 +211,13 @@ func (r *Recorder) Counter(name string, labels ...Label) *Counter {
 		return nil
 	}
 	k := key(name, labels)
+	r.mu.Lock()
 	c, ok := r.counters[k]
 	if !ok {
 		c = &Counter{}
 		r.counters[k] = c
 	}
+	r.mu.Unlock()
 	return c
 }
 
@@ -201,11 +227,13 @@ func (r *Recorder) Gauge(name string, labels ...Label) *Gauge {
 		return nil
 	}
 	k := key(name, labels)
+	r.mu.Lock()
 	g, ok := r.gauges[k]
 	if !ok {
 		g = &Gauge{}
 		r.gauges[k] = g
 	}
+	r.mu.Unlock()
 	return g
 }
 
@@ -216,11 +244,13 @@ func (r *Recorder) Histogram(name string, origin, width float64, bins int, label
 		return nil
 	}
 	k := key(name, labels)
+	r.mu.Lock()
 	h, ok := r.hists[k]
 	if !ok {
 		h = &Histogram{h: stats.NewHistogram(origin, width, bins)}
 		r.hists[k] = h
 	}
+	r.mu.Unlock()
 	return h
 }
 
@@ -230,7 +260,9 @@ func (r *Recorder) SetProcessName(pid int, name string) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.procs[pid] = name
+	r.mu.Unlock()
 }
 
 // SetThreadName names a (pid, tid) track.
@@ -238,7 +270,9 @@ func (r *Recorder) SetThreadName(pid, tid int, name string) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.threads[[2]int{pid, tid}] = name
+	r.mu.Unlock()
 }
 
 // SpanUS records a complete span with microsecond start and duration.
@@ -246,7 +280,9 @@ func (r *Recorder) SpanUS(pid, tid int, name string, startUS, durUS float64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.events = append(r.events, event{name: name, ph: 'X', pid: pid, tid: tid, ts: startUS, dur: durUS})
+	r.mu.Unlock()
 }
 
 // SpanCycles records a complete span given in 900 MHz core cycles.
@@ -259,7 +295,9 @@ func (r *Recorder) InstantUS(pid, tid int, name string, tsUS float64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.events = append(r.events, event{name: name, ph: 'i', pid: pid, tid: tid, ts: tsUS})
+	r.mu.Unlock()
 }
 
 // InstantCycles records an instant event at a core-cycle timestamp.
@@ -272,5 +310,7 @@ func (r *Recorder) NumEvents() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return len(r.events)
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"sync"
 	"testing"
 )
 
@@ -203,5 +204,62 @@ func TestGlobalDefault(t *testing.T) {
 	Set(nil)
 	if Get() != nil {
 		t.Fatal("Set(nil) did not clear")
+	}
+}
+
+// TestConcurrentRecordingDeterministic hammers one recorder from many
+// goroutines — the access pattern of the window-parallel cluster
+// executor — and checks (a) no race (run under -race in CI), (b) the
+// exported dumps are byte-identical to a sequential recording of the
+// same event multiset, because export sorts events and counter sums
+// commute.
+func TestConcurrentRecordingDeterministic(t *testing.T) {
+	record := func(r *Recorder, workers int) {
+		r.SetProcessName(0, "chip0")
+		if workers == 1 {
+			for g := 0; g < 8; g++ {
+				for i := 0; i < 100; i++ {
+					r.Counter("test.ops", Li("worker", g)).Inc()
+					r.Histogram("test.lat", 0, 1, 16).Add(float64(i % 16))
+					r.SpanUS(0, g, "step", float64(i), 1)
+				}
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					r.Counter("test.ops", Li("worker", g)).Inc()
+					r.Histogram("test.lat", 0, 1, 16).Add(float64(i % 16))
+					r.SpanUS(0, g, "step", float64(i), 1)
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+	dump := func(r *Recorder) (string, string) {
+		var tr, me bytes.Buffer
+		if err := r.WriteTrace(&tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteMetrics(&me); err != nil {
+			t.Fatal(err)
+		}
+		return tr.String(), me.String()
+	}
+	seq := New()
+	record(seq, 1)
+	seqTr, seqMe := dump(seq)
+	par := New()
+	record(par, 8)
+	parTr, parMe := dump(par)
+	if seqTr != parTr {
+		t.Error("trace dump differs between sequential and concurrent recording")
+	}
+	if seqMe != parMe {
+		t.Error("metrics dump differs between sequential and concurrent recording")
 	}
 }

@@ -1,0 +1,203 @@
+// Conservative window-parallel cluster execution.
+//
+// The paper's machine gives the simulator the same gift it gives the
+// compiler: cross-chip effects propagate only over C2C links, and a link
+// hop costs exactly route.HopCycles. A vector sent at cycle c is invisible
+// to every receiver before c + HopCycles, so any two chips whose pending
+// instructions all fall inside one lookahead window [t, t+HopCycles) are
+// causally independent for the duration of that window — they may execute
+// concurrently, in any interleaving, and produce exactly the state the
+// sequential executor produces. This is classic conservative parallel
+// discrete-event simulation with the hop latency as the lookahead bound.
+//
+// Determinism is preserved by construction, not by scheduling luck:
+//
+//   - Chip-local state (cursors, streams, SRAM) is touched only by the
+//     worker stepping that chip.
+//   - Cross-chip sends are buffered per source chip during the window and
+//     merged at the barrier in ascending (cycle, chip, issue-order) — the
+//     exact order the sequential executor would have delivered them. Every
+//     directed link has a single sender, so per-link delivery order (and
+//     with it the per-link FEC error RNG stream) is reproduced bit-for-bit.
+//   - Shared observability is atomic counters plus a sorted trace export,
+//     so dumps depend on the multiset of events, not the interleaving.
+//
+// The result: finish cycles, memories, fault identities, counters, and
+// exported dumps are byte-identical across worker counts, including the
+// sequential executor.
+package runtime
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/route"
+	"repro/internal/topo"
+	"repro/internal/tsp"
+)
+
+// pendingSend is one buffered cross-chip transfer: a Send or Transmit
+// issued inside the current lookahead window, held until the barrier.
+type pendingSend struct {
+	cycle int64
+	link  int
+	v     tsp.Vector
+}
+
+// pendRef addresses one buffered send for the merge sort without copying
+// its 320-byte payload.
+type pendRef struct {
+	src int
+	j   int
+}
+
+// RunParallel executes the cluster with the window-parallel executor on
+// the given number of workers. workers <= 1 still runs the window
+// machinery single-threaded (useful for testing the partition), so window
+// metrics are identical across worker counts; use RunSequential for the
+// plain heap executor.
+func (cl *Cluster) RunParallel(workers int) (int64, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	const window = int64(route.HopCycles)
+
+	// Window metrics (nil-safe when no recorder is installed). The values
+	// depend only on the window partition, which is a function of the
+	// programs — not of the worker count or thread scheduling.
+	windowsC := cl.rec.Counter("runtime.par.windows")
+	windowChipsC := cl.rec.Counter("runtime.par.window_chips")
+	stallsC := cl.rec.Counter("runtime.par.barrier_stalls")
+	stalledC := cl.rec.Counter("runtime.par.barrier_stalled_chips")
+	occH := cl.rec.Histogram("runtime.par.window_occupancy", 0, 1, 65)
+	if cl.rec != nil {
+		cl.rec.SetThreadName(obs.PidFabric, 1, "parallel windows")
+	}
+
+	if cl.pend == nil {
+		cl.pend = make([][]pendingSend, len(cl.chips))
+	}
+	h := cl.runnableHeap()
+	active := make([]int, 0, len(cl.chips))
+	nexts := make([]int64, len(cl.chips))
+	oks := make([]bool, len(cl.chips))
+	for len(h) > 0 {
+		t := h[0].t
+		end := t + window
+		// Drain every chip whose next issue falls inside [t, end). By the
+		// NextIssue monotonicity contract a chip left in the heap cannot
+		// issue before end, so excluding it from this window is safe.
+		active = active[:0]
+		for len(h) > 0 && h[0].t < end {
+			active = append(active, h.pop().idx)
+		}
+		windowsC.Inc()
+		windowChipsC.Add(int64(len(active)))
+		occH.Add(float64(len(active)))
+		if len(h) > 0 {
+			// Runnable chips forced to sit this window out: the
+			// conservative bound's cost, visible as barrier stalls.
+			stallsC.Inc()
+			stalledC.Add(int64(len(h)))
+		}
+		if cl.rec != nil {
+			cl.rec.SpanCycles(obs.PidFabric, 1, "runtime.par.window", t, window)
+		}
+
+		// Step every active chip to the window horizon, buffering sends.
+		cl.buffering = true
+		if workers == 1 || len(active) == 1 {
+			for _, i := range active {
+				nexts[i], oks[i] = cl.chips[i].StepUntil(end)
+			}
+		} else {
+			w := workers
+			if w > len(active) {
+				w = len(active)
+			}
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(w)
+			for k := 0; k < w; k++ {
+				go func() {
+					defer wg.Done()
+					for {
+						j := int(cursor.Add(1)) - 1
+						if j >= len(active) {
+							return
+						}
+						i := active[j]
+						nexts[i], oks[i] = cl.chips[i].StepUntil(end)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		cl.buffering = false
+
+		// Barrier: surface the first fault in global (cycle, chip) order —
+		// the one the sequential executor would have stopped at. Chip
+		// state up to a fault is window-local, so the faulting chip looks
+		// exactly as it does sequentially; buffered sends are dropped, as
+		// the run is abandoned for replay.
+		fi := -1
+		for _, i := range active {
+			f := cl.chips[i].Fault()
+			if f == nil {
+				continue
+			}
+			if fi < 0 || f.Cycle < cl.chips[fi].Fault().Cycle ||
+				(f.Cycle == cl.chips[fi].Fault().Cycle && i < fi) {
+				fi = i
+			}
+		}
+		if fi >= 0 {
+			return cl.chips[fi].FinishCycle(), cl.chips[fi].Fault()
+		}
+
+		// Merge the window's sends in deterministic order, then requeue
+		// the chips that still have work.
+		cl.flushPending()
+		for _, i := range active {
+			if oks[i] {
+				h.push(chipHeapEntry{t: nexts[i], idx: i})
+			}
+		}
+	}
+	return cl.finish()
+}
+
+// flushPending delivers every buffered send in ascending (cycle, source
+// chip, issue order) — the order a sequential run interleaves them — and
+// resets the buffers. Runs single-threaded at the window barrier, so the
+// lazily built per-link FEC models, their RNG streams, and the MBE/
+// Corrected tallies behave exactly as in sequential delivery.
+func (cl *Cluster) flushPending() {
+	total := 0
+	for i := range cl.pend {
+		total += len(cl.pend[i])
+	}
+	if total == 0 {
+		return
+	}
+	refs := make([]pendRef, 0, total)
+	for src := range cl.pend {
+		for j := range cl.pend[src] {
+			refs = append(refs, pendRef{src: src, j: j})
+		}
+	}
+	// refs is already ordered by (src, issue order); a stable sort by
+	// cycle yields (cycle, src, issue order).
+	sort.SliceStable(refs, func(a, b int) bool {
+		return cl.pend[refs[a].src][refs[a].j].cycle < cl.pend[refs[b].src][refs[b].j].cycle
+	})
+	for _, r := range refs {
+		p := &cl.pend[r.src][r.j]
+		cl.deliver(topo.TSPID(r.src), p.link, p.v, p.cycle)
+	}
+	for i := range cl.pend {
+		cl.pend[i] = cl.pend[i][:0]
+	}
+}

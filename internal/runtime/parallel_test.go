@@ -1,0 +1,409 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/topo"
+	"repro/internal/tsp"
+)
+
+// contribution is chip c's deterministic test vector.
+func contribution(c int) []float32 {
+	return []float32{float32(c + 1), float32(2*c + 1), 0.5 * float32(c), -float32(c % 3)}
+}
+
+// buildRing constructs a ring all-reduce cluster over nodes nodes and
+// preloads every chip's contribution.
+func buildRing(t *testing.T, nodes, rounds, matmuls, workers int) *Cluster {
+	t.Helper()
+	sys, err := topo.New(topo.Config{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := RingAllReducePrograms(sys, rounds, matmuls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(sys, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetWorkers(workers)
+	for c := 0; c < sys.NumTSPs(); c++ {
+		v := tsp.VectorOf(contribution(c))
+		cl.Chip(c).Streams[RingCur] = v
+		cl.Chip(c).Streams[RingAcc] = v
+	}
+	return cl
+}
+
+// buildPipeline constructs a pipelined cluster and preloads stage 0's
+// inputs and every stage's bias.
+func buildPipeline(t *testing.T, nodes, waves, matmuls, workers int) *Cluster {
+	t.Helper()
+	sys, err := topo.New(topo.Config{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := PipelinePrograms(sys, waves, matmuls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(sys, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetWorkers(workers)
+	for c := 0; c < sys.NumTSPs(); c++ {
+		stage := c % topo.TSPsPerNode
+		bias := tsp.VectorOf([]float32{float32(stage + 1), 0.5, -float32(stage), 2})
+		cl.Chip(c).Streams[PipeBias] = bias
+		if stage == 0 {
+			for w := 0; w < waves; w++ {
+				in := tsp.VectorOf(contribution(c + w))
+				cl.Chip(c).Mem.Write(mem.Addr{Offset: w}, in[:])
+			}
+		}
+	}
+	return cl
+}
+
+// TestRingAllReduceFunctional checks the generator's semantics under the
+// sequential executor: after 7 rounds every chip holds its node's
+// elementwise sum, both in the stream file and committed to SRAM.
+func TestRingAllReduceFunctional(t *testing.T) {
+	const nodes = 2
+	cl := buildRing(t, nodes, 7, 1, 1)
+	finish, err := cl.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if finish <= 7*650 {
+		t.Fatalf("finish %d implausibly early", finish)
+	}
+	for c := 0; c < nodes*topo.TSPsPerNode; c++ {
+		node := c / topo.TSPsPerNode
+		want := make([]float32, 4)
+		for l := 0; l < topo.TSPsPerNode; l++ {
+			for i, x := range contribution(node*topo.TSPsPerNode + l) {
+				want[i] += x
+			}
+		}
+		got := cl.Chip(c).Streams[RingAcc].Floats()
+		for i := range want {
+			if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+				t.Fatalf("chip %d acc[%d] = %f, want %f", c, i, got[i], want[i])
+			}
+		}
+		data, ok := cl.Chip(c).Mem.Read(mem.Addr{})
+		if !ok {
+			t.Fatalf("chip %d: no SRAM result", c)
+		}
+		if !bytes.Equal(data, cl.Chip(c).Streams[RingAcc][:]) {
+			t.Fatalf("chip %d: SRAM result differs from stream", c)
+		}
+	}
+}
+
+// TestPipelineFunctional checks the pipeline generator: each wave's output
+// is the input plus every stage's bias, committed to the last stage's
+// SRAM word per wave.
+func TestPipelineFunctional(t *testing.T) {
+	const waves = 3
+	cl := buildPipeline(t, 1, waves, 1, 1)
+	if _, err := cl.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	last := topo.TSPsPerNode - 1
+	var biasSum [4]float32
+	for s := 0; s < topo.TSPsPerNode; s++ {
+		for i, x := range []float32{float32(s + 1), 0.5, -float32(s), 2} {
+			biasSum[i] += x
+		}
+	}
+	for w := 0; w < waves; w++ {
+		data, ok := cl.Chip(last).Mem.Read(mem.Addr{Offset: w})
+		if !ok {
+			t.Fatalf("wave %d: no result", w)
+		}
+		var v tsp.Vector
+		copy(v[:], data)
+		got := v.Floats()
+		in := contribution(0 + w)
+		for i := range in {
+			want := in[i] + biasSum[i]
+			if math.Abs(float64(got[i]-want)) > 1e-4 {
+				t.Fatalf("wave %d lane %d = %f, want %f", w, i, got[i], want)
+			}
+		}
+	}
+}
+
+// assertSameResult compares everything the executors promise to keep
+// byte-identical: per-chip finish cycles, full stream files, committed
+// SRAM words, error-process tallies, and the global finish/error.
+func assertSameResult(t *testing.T, label string, seq, par *Cluster, seqFinish, parFinish int64, seqErr, parErr error, addrs []mem.Addr) {
+	t.Helper()
+	if seqFinish != parFinish {
+		t.Errorf("%s: finish %d (seq) != %d (par)", label, seqFinish, parFinish)
+	}
+	if (seqErr == nil) != (parErr == nil) || (seqErr != nil && seqErr.Error() != parErr.Error()) {
+		t.Errorf("%s: err %v (seq) != %v (par)", label, seqErr, parErr)
+	}
+	if seq.Corrected != par.Corrected || seq.MBEs != par.MBEs {
+		t.Errorf("%s: FEC tallies (%d,%d) (seq) != (%d,%d) (par)", label, seq.Corrected, seq.MBEs, par.Corrected, par.MBEs)
+	}
+	for c := range seq.chips {
+		if seq.Chip(c).FinishCycle() != par.Chip(c).FinishCycle() {
+			t.Errorf("%s: chip %d finish %d != %d", label, c, seq.Chip(c).FinishCycle(), par.Chip(c).FinishCycle())
+		}
+		if seq.Chip(c).Streams != par.Chip(c).Streams {
+			t.Errorf("%s: chip %d stream files differ", label, c)
+		}
+		for _, a := range addrs {
+			sd, sok := seq.Chip(c).Mem.Read(a)
+			pd, pok := par.Chip(c).Mem.Read(a)
+			if sok != pok || !bytes.Equal(sd, pd) {
+				t.Errorf("%s: chip %d SRAM %+v differs", label, c, a)
+			}
+		}
+	}
+}
+
+// filterParMetrics removes the runtime.par.* window metrics (which only
+// the parallel executor emits) so a sequential and a parallel metrics
+// dump can be compared key for key.
+func filterParMetrics(t *testing.T, dump string) string {
+	t.Helper()
+	var m struct {
+		Counters   map[string]int64           `json:"counters"`
+		Gauges     map[string]int64           `json:"gauges"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(dump), &m); err != nil {
+		t.Fatalf("metrics dump: %v", err)
+	}
+	for k := range m.Counters {
+		if strings.HasPrefix(k, "runtime.par.") {
+			delete(m.Counters, k)
+		}
+	}
+	for k := range m.Histograms {
+		if strings.HasPrefix(k, "runtime.par.") {
+			delete(m.Histograms, k)
+		}
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// withRecorder runs f with a fresh process-global recorder installed and
+// returns the trace and metrics dumps it produced.
+func withRecorder(t *testing.T, f func()) (trace, metrics string) {
+	t.Helper()
+	prev := obs.Get()
+	r := obs.New()
+	obs.Set(r)
+	defer obs.Set(prev)
+	f()
+	var tb, mb bytes.Buffer
+	if err := r.WriteTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteMetrics(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.String(), mb.String()
+}
+
+// TestParallelMatchesSequential is the core equivalence suite: across
+// topology sizes, workloads, and worker counts, the window-parallel
+// executor must be indistinguishable from the sequential one — state,
+// finish cycles, and (minus the par-only window metrics) the sorted
+// metrics dump.
+func TestParallelMatchesSequential(t *testing.T) {
+	type buildFn func(t *testing.T, workers int) (*Cluster, []mem.Addr)
+	cases := []struct {
+		name  string
+		build buildFn
+	}{
+		{"ring/1node", func(t *testing.T, w int) (*Cluster, []mem.Addr) {
+			return buildRing(t, 1, 7, 1, w), []mem.Addr{{}}
+		}},
+		{"ring/2node", func(t *testing.T, w int) (*Cluster, []mem.Addr) {
+			return buildRing(t, 2, 7, 0, w), []mem.Addr{{}}
+		}},
+		{"pipeline/1node", func(t *testing.T, w int) (*Cluster, []mem.Addr) {
+			return buildPipeline(t, 1, 3, 1, w), []mem.Addr{{Offset: 0}, {Offset: 1}, {Offset: 2}}
+		}},
+		{"pipeline/2node", func(t *testing.T, w int) (*Cluster, []mem.Addr) {
+			return buildPipeline(t, 2, 2, 0, w), []mem.Addr{{Offset: 0}, {Offset: 1}}
+		}},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{2, 3, 8} {
+			name := tc.name + "/w" + string(rune('0'+workers))
+			t.Run(name, func(t *testing.T) {
+				var seq, par *Cluster
+				var seqFinish, parFinish int64
+				var seqErr, parErr error
+				var addrs []mem.Addr
+				_, seqMetrics := withRecorder(t, func() {
+					seq, addrs = tc.build(t, 1)
+					seqFinish, seqErr = seq.RunSequential()
+				})
+				_, parMetrics := withRecorder(t, func() {
+					par, _ = tc.build(t, workers)
+					parFinish, parErr = par.Run()
+				})
+				assertSameResult(t, name, seq, par, seqFinish, parFinish, seqErr, parErr, addrs)
+				if filterParMetrics(t, seqMetrics) != filterParMetrics(t, parMetrics) {
+					t.Errorf("%s: metrics dumps differ after filtering window metrics", name)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelWorkerCountInvariance requires the full dumps — trace
+// included, window metrics included — to be byte-identical across worker
+// counts of the parallel executor: the window partition is a function of
+// the programs, never of the thread schedule.
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) (string, string) {
+		var tr, me string
+		tr, me = withRecorder(t, func() {
+			cl := buildRing(t, 2, 7, 1, workers)
+			if _, err := cl.RunParallel(workers); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+		})
+		return tr, me
+	}
+	tr1, me1 := run(1)
+	for _, w := range []int{2, 4, 8} {
+		trW, meW := run(w)
+		if tr1 != trW {
+			t.Errorf("trace dump differs between 1 and %d workers", w)
+		}
+		if me1 != meW {
+			t.Errorf("metrics dump differs between 1 and %d workers", w)
+		}
+	}
+}
+
+// TestParallelBERMatchesSequential runs the link error process under both
+// executors with the same seed: identical per-link delivery order means
+// identical corruption, corrections, and MBE counts.
+func TestParallelBERMatchesSequential(t *testing.T) {
+	run := func(workers int) (*Cluster, int64, error) {
+		cl := buildRing(t, 1, 7, 0, workers)
+		cl.SetBitErrorRate(2e-5, 42)
+		f, err := cl.Run()
+		return cl, f, err
+	}
+	seq, seqFinish, seqErr := run(1)
+	par, parFinish, parErr := run(4)
+	if seq.Corrected == 0 {
+		t.Log("note: BER produced no corrections at this seed; equivalence still checked")
+	}
+	assertSameResult(t, "ber", seq, par, seqFinish, parFinish, seqErr, parErr, nil)
+}
+
+// TestParallelUnderflowFaultMatchesSequential: a schedule that lies (a
+// Recv before the hop completes) must produce the identical fault — kind,
+// unit, cycle, instruction — and finish cycle under both executors.
+func TestParallelUnderflowFaultMatchesSequential(t *testing.T) {
+	build := func(workers int) *Cluster {
+		sys, err := topo.New(topo.Config{Nodes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l01, err := localLinkIndex(sys, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l10, err := localLinkIndex(sys, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b0, b1 progBuilder
+		b0.at(isa.C2C, 0, isa.Instruction{Op: isa.Send, A: uint16(l01), B: 0})
+		// The hop lands at 650; receiving at 100 underflows.
+		b1.at(isa.C2C, 100, isa.Instruction{Op: isa.Recv, A: uint16(l10), B: 0})
+		p0, p1 := b0.p, b1.p
+		cl, err := New(sys, []*isa.Program{&p0, &p1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.SetWorkers(workers)
+		return cl
+	}
+	seqFinish, seqErr := build(1).Run()
+	parFinish, parErr := build(4).Run()
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("expected underflow faults, got seq=%v par=%v", seqErr, parErr)
+	}
+	sf, ok1 := seqErr.(*tsp.Fault)
+	pf, ok2 := parErr.(*tsp.Fault)
+	if !ok1 || !ok2 {
+		t.Fatalf("expected *tsp.Fault, got %T / %T", seqErr, parErr)
+	}
+	if sf.Kind != pf.Kind || sf.Unit != pf.Unit || sf.Cycle != pf.Cycle || sf.Instr != pf.Instr {
+		t.Fatalf("fault identity differs: seq %+v, par %+v", sf, pf)
+	}
+	if seqFinish != parFinish {
+		t.Fatalf("fault finish differs: %d vs %d", seqFinish, parFinish)
+	}
+}
+
+// TestTakeInvalidLinkUnderflows pins the take() contract: a Recv on a
+// link index the chip does not have degrades to the same schedule-lied
+// underflow fault as an empty queue, never a panic.
+func TestTakeInvalidLinkUnderflows(t *testing.T) {
+	sys, err := topo.New(topo.Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b progBuilder
+	b.at(isa.C2C, 0, isa.Instruction{Op: isa.Recv, A: 99, B: 0})
+	p := b.p
+	cl, err := New(sys, []*isa.Program{&p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := cl.Run()
+	f, ok := runErr.(*tsp.Fault)
+	if !ok || f.Kind != tsp.ErrUnderflow {
+		t.Fatalf("want underflow fault, got %v", runErr)
+	}
+}
+
+// TestLinkQueueCapacityBounded runs a long ring workload and checks that
+// mailbox backing arrays stay bounded: the head-indexed queues reclaim
+// consumed prefixes instead of pinning them the way q = q[1:] re-slicing
+// did, so capacity tracks peak in-flight vectors, not total traffic.
+func TestLinkQueueCapacityBounded(t *testing.T) {
+	const rounds = 400
+	cl := buildRing(t, 1, rounds, 0, 1)
+	if _, err := cl.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for c, mb := range cl.posts {
+		for i := range mb.queues {
+			if got := mb.queues[i].capacity(); got > 64 {
+				t.Errorf("chip %d link %d: queue capacity %d after %d rounds (retention leak)", c, i, got, rounds)
+			}
+		}
+	}
+}

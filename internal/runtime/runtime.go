@@ -5,6 +5,13 @@
 // implements the paper's fault strategy — software replay of an inference
 // on detected-uncorrectable errors, and N+1 hot-spare node failover
 // (§4.5).
+//
+// Two executors produce byte-identical results: a sequential min-heap
+// executor (RunSequential) and a conservative window-parallel executor
+// (RunParallel, see parallel.go) that exploits the same property the
+// paper's compiler exploits — cross-chip effects cannot propagate faster
+// than one route.HopCycles link hop — to step causally independent chips
+// concurrently.
 package runtime
 
 import (
@@ -28,6 +35,23 @@ type Cluster struct {
 	chips []*tsp.Chip
 	posts []*mailbox
 
+	// peerIdx[l] is the local inbound link index on link l's destination
+	// chip: the position of l.Reverse within Out(l.To). Precomputed at
+	// construction so deliver is O(1) and inconsistent wiring fails at
+	// New, not mid-run.
+	peerIdx []int
+
+	// workers is the executor parallelism captured from the package
+	// default at construction (override with SetWorkers). 1 = sequential.
+	workers int
+
+	// Window-send buffering (see parallel.go): while a lookahead window
+	// is executing on the worker pool, chipC2C routes sends into pend
+	// (indexed by source chip, touched only by that chip's worker) instead
+	// of delivering them; the barrier merges them in deterministic order.
+	buffering bool
+	pend      [][]pendingSend
+
 	// Link error process (§4.5): every delivered vector passes through
 	// the frame FEC; single-bit errors are corrected in situ without
 	// disturbing timing, uncorrectable errors are flagged for software
@@ -45,15 +69,69 @@ type Cluster struct {
 	linkVecs   map[topo.LinkID]*obs.Counter
 }
 
+// defaultWorkers is the executor parallelism new clusters start with.
+// It is read at construction time only; set it from main/test setup, not
+// concurrently with cluster construction.
+var defaultWorkers = 1
+
+// SetDefaultWorkers sets the worker count future New calls capture.
+// n < 1 is treated as 1 (sequential). Returns the previous value.
+func SetDefaultWorkers(n int) int {
+	prev := defaultWorkers
+	if n < 1 {
+		n = 1
+	}
+	defaultWorkers = n
+	return prev
+}
+
 // mailbox is one chip's inbound message queues, per local link index.
 type mailbox struct {
-	queues map[int][]envelope
+	queues []linkQueue
 }
 
 type envelope struct {
 	v       tsp.Vector
 	arrival int64
 }
+
+// linkQueue is a head-indexed FIFO of in-flight vectors. Popping advances
+// head instead of re-slicing (q = q[1:] would pin the whole backing array
+// for the life of the run); the consumed prefix is compacted away once it
+// dominates the buffer, so capacity stays proportional to the peak number
+// of simultaneously in-flight vectors, not to the total ever sent.
+type linkQueue struct {
+	buf  []envelope
+	head int
+}
+
+func (q *linkQueue) len() int { return len(q.buf) - q.head }
+
+func (q *linkQueue) front() *envelope { return &q.buf[q.head] }
+
+func (q *linkQueue) push(e envelope) { q.buf = append(q.buf, e) }
+
+func (q *linkQueue) pop() envelope {
+	e := q.buf[q.head]
+	q.buf[q.head] = envelope{} // drop the payload reference
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head >= 32 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		clearTail := q.buf[n:]
+		for i := range clearTail {
+			clearTail[i] = envelope{}
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return e
+}
+
+// cap reports the backing-array capacity (tested: bounded on long runs).
+func (q *linkQueue) capacity() int { return cap(q.buf) }
 
 // chipC2C adapts the cluster's mailboxes to the tsp.C2C interface for one
 // chip.
@@ -63,11 +141,19 @@ type chipC2C struct {
 }
 
 func (c *chipC2C) Send(link int, v tsp.Vector, cycle int64) {
+	if c.cl.buffering {
+		c.cl.pend[c.id] = append(c.cl.pend[c.id], pendingSend{link: link, cycle: cycle, v: v})
+		return
+	}
 	c.cl.deliver(c.id, link, v, cycle)
 }
 
 func (c *chipC2C) Transmit(link int, cycle int64) {
 	// The alignment notification is a vector like any other.
+	if c.cl.buffering {
+		c.cl.pend[c.id] = append(c.cl.pend[c.id], pendingSend{link: link, cycle: cycle})
+		return
+	}
 	c.cl.deliver(c.id, link, tsp.Vector{}, cycle)
 }
 
@@ -81,7 +167,7 @@ func New(sys *topo.System, programs []*isa.Program) (*Cluster, error) {
 	if len(programs) > sys.NumTSPs() {
 		return nil, fmt.Errorf("runtime: %d programs for %d TSPs", len(programs), sys.NumTSPs())
 	}
-	cl := &Cluster{sys: sys}
+	cl := &Cluster{sys: sys, workers: defaultWorkers}
 	if rec := obs.Get(); rec != nil {
 		cl.rec = rec
 		cl.vectors = rec.Counter("runtime.vectors_delivered")
@@ -97,10 +183,42 @@ func New(sys *topo.System, programs []*isa.Program) (*Cluster, error) {
 		}
 		chip := tsp.New(t, prog, &chipC2C{cl: cl, id: topo.TSPID(t)})
 		cl.chips = append(cl.chips, chip)
-		cl.posts = append(cl.posts, &mailbox{queues: map[int][]envelope{}})
+		cl.posts = append(cl.posts, &mailbox{queues: make([]linkQueue, len(sys.Out(topo.TSPID(t))))})
+	}
+	// Resolve every link's inbound local index on its destination chip up
+	// front: a miswired topology (a link whose reverse is absent from the
+	// peer's adjacency) is a construction bug and must fail loudly here,
+	// not on the first delivery deep into a run.
+	links := sys.Links()
+	cl.peerIdx = make([]int, len(links))
+	for i := range links {
+		l := links[i]
+		cl.peerIdx[l.ID] = -1
+		for j, lid := range sys.Out(l.To) {
+			if lid == l.Reverse {
+				cl.peerIdx[l.ID] = j
+				break
+			}
+		}
+		if cl.peerIdx[l.ID] < 0 {
+			panic(fmt.Sprintf("runtime: link %d: reverse link %d missing from chip %d adjacency", l.ID, l.Reverse, l.To))
+		}
 	}
 	return cl, nil
 }
+
+// SetWorkers overrides the executor parallelism for this cluster: 1 runs
+// the sequential heap executor, >1 runs the window-parallel executor with
+// that many workers. Results are byte-identical either way.
+func (cl *Cluster) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	cl.workers = n
+}
+
+// Workers reports the configured executor parallelism.
+func (cl *Cluster) Workers() int { return cl.workers }
 
 // Chip returns TSP t's chip model (for loading data and reading results).
 func (cl *Cluster) Chip(t int) *tsp.Chip { return cl.chips[t] }
@@ -160,64 +278,142 @@ func (cl *Cluster) deliver(src topo.TSPID, link int, v tsp.Vector, cycle int64) 
 		}
 		v = tsp.Vector(rx.Payload)
 	}
-	peer := l.To
 	// The peer addresses this physical cable by its own local index of
-	// the reverse link.
-	rev := l.Reverse
-	peerIdx := -1
-	for i, lid := range cl.sys.Out(peer) {
-		if lid == rev {
-			peerIdx = i
-			break
-		}
-	}
-	if peerIdx < 0 {
-		panic("runtime: reverse link missing from peer adjacency")
-	}
-	mb := cl.posts[peer]
-	mb.queues[peerIdx] = append(mb.queues[peerIdx], envelope{v: v, arrival: cycle + route.HopCycles})
+	// the reverse link, precomputed at construction.
+	mb := cl.posts[l.To]
+	mb.queues[cl.peerIdx[l.ID]].push(envelope{v: v, arrival: cycle + route.HopCycles})
 }
 
 // take pops the oldest vector that has arrived on the link by the given
-// cycle.
+// cycle. An out-of-range link index (a program receiving on a link the
+// chip does not have) degrades to an underflow, the same schedule-lied
+// fault a correct link with no data raises.
 func (cl *Cluster) take(dst topo.TSPID, link int, cycle int64) (tsp.Vector, bool) {
 	mb := cl.posts[dst]
-	q := mb.queues[link]
-	if len(q) == 0 || q[0].arrival > cycle {
+	if link < 0 || link >= len(mb.queues) {
 		cl.underflows.Inc()
 		return tsp.Vector{}, false
 	}
-	v := q[0].v
-	mb.queues[link] = q[1:]
-	return v, true
+	q := &mb.queues[link]
+	if q.len() == 0 || q.front().arrival > cycle {
+		cl.underflows.Inc()
+		return tsp.Vector{}, false
+	}
+	return q.pop().v, true
+}
+
+// chipHeap is a value-typed binary min-heap of runnable chips keyed by
+// (next-issue cycle, chip index). The strict total order makes the pop
+// sequence identical to the old linear min-scan (which broke ties toward
+// the lowest chip index) at O(log N) per reschedule instead of O(N) per
+// instruction.
+type chipHeap []chipHeapEntry
+
+type chipHeapEntry struct {
+	t   int64
+	idx int
+}
+
+func (h chipHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].idx < h[j].idx
+}
+
+func (h *chipHeap) push(e chipHeapEntry) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (h *chipHeap) pop() chipHeapEntry {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		min := i
+		if l := 2*i + 1; l < n && q.less(l, min) {
+			min = l
+		}
+		if r := 2*i + 2; r < n && q.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}
+
+// runnableHeap seeds the heap with every chip that has pending work.
+func (cl *Cluster) runnableHeap() chipHeap {
+	h := make(chipHeap, 0, len(cl.chips))
+	for i, chip := range cl.chips {
+		if _, t, ok := chip.NextIssue(); ok {
+			h.push(chipHeapEntry{t: t, idx: i})
+		}
+	}
+	return h
 }
 
 // Run executes every chip to completion in globally time-ordered lockstep:
 // at each step the chip with the earliest pending instruction issues. This
 // is exactly the total order the SSN compiler reasoned about, so a correct
 // schedule never underflows a receiver. It returns the global finish cycle.
+//
+// With workers > 1 (SetWorkers / SetDefaultWorkers) the cluster runs the
+// conservative window-parallel executor instead (see parallel.go); its
+// results — finish cycle, chip state, counters, traces — are byte-identical
+// to the sequential run.
 func (cl *Cluster) Run() (int64, error) {
-	for {
-		best := -1
-		var bestT int64
-		for i, chip := range cl.chips {
-			if chip.Fault() != nil {
-				return chip.FinishCycle(), chip.Fault()
-			}
-			if _, t, ok := chip.NextIssue(); ok {
-				if best < 0 || t < bestT {
-					best, bestT = i, t
-				}
-			}
+	if cl.workers > 1 {
+		return cl.RunParallel(cl.workers)
+	}
+	return cl.RunSequential()
+}
+
+// RunSequential is the single-threaded executor: a min-heap of chips keyed
+// by next-issue cycle, popping the earliest (ties toward the lowest chip
+// index) and executing all of that chip's instructions at that cycle.
+func (cl *Cluster) RunSequential() (int64, error) {
+	h := cl.runnableHeap()
+	for len(h) > 0 {
+		e := h.pop()
+		// Execute every instruction this chip issues at cycle e.t. Chips
+		// cannot disturb each other's cursors, and a send launched at e.t
+		// arrives a full hop later, so batching a chip's same-cycle
+		// instructions reproduces the old one-instruction-at-a-time global
+		// order exactly.
+		next, ok := cl.chips[e.idx].StepUntil(e.t + 1)
+		if f := cl.chips[e.idx].Fault(); f != nil {
+			return cl.chips[e.idx].FinishCycle(), f
 		}
-		if best < 0 {
-			break
-		}
-		cl.chips[best].Step()
-		if f := cl.chips[best].Fault(); f != nil {
-			return cl.chips[best].FinishCycle(), f
+		if ok {
+			h.push(chipHeapEntry{t: next, idx: e.idx})
 		}
 	}
+	return cl.finish()
+}
+
+// finish is the common run epilogue: wedge detection in ascending chip
+// order, global finish cycle, and the §4.5 replay cue on uncorrectable
+// link errors.
+func (cl *Cluster) finish() (int64, error) {
 	var finish int64
 	for _, chip := range cl.chips {
 		if !chip.Done() {

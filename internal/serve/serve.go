@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -131,20 +133,60 @@ func Run(cfg Config) (Result, error) {
 // SaturationSweep runs the scenario across load levels (fractions of the
 // pipeline's capacity 1/ServiceUS) and returns one Result per level.
 func SaturationSweep(serviceUS float64, depth int, loads []float64, requests int, seed uint64) ([]Result, error) {
+	return SaturationSweepParallel(serviceUS, depth, loads, requests, seed, 1)
+}
+
+// SaturationSweepParallel is SaturationSweep with the load levels fanned
+// out over workers goroutines. Each level's Run is an independent,
+// seed-determined simulation, and the shared observability sinks are
+// concurrency-safe commuting aggregates, so results (and metric totals)
+// are identical to the sequential sweep regardless of worker count.
+func SaturationSweepParallel(serviceUS float64, depth int, loads []float64, requests int, seed uint64, workers int) ([]Result, error) {
 	capacity := 1e6 / serviceUS
-	var out []Result
-	for _, l := range loads {
-		r, err := Run(Config{
+	cfg := func(l float64) Config {
+		return Config{
 			ServiceUS:         serviceUS,
 			PipelineDepth:     depth,
 			ArrivalRatePerSec: l * capacity,
 			Requests:          requests,
 			Seed:              seed,
-		})
+		}
+	}
+	out := make([]Result, len(loads))
+	if workers <= 1 || len(loads) < 2 {
+		for i, l := range loads {
+			r, err := Run(cfg(l))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	if workers > len(loads) {
+		workers = len(loads)
+	}
+	errs := make([]error, len(loads))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(loads) {
+					return
+				}
+				out[i], errs[i] = Run(cfg(loads[i]))
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -242,5 +243,79 @@ func TestEngineReplayDeterminism(t *testing.T) {
 		if t1[i] != t2[i] {
 			t.Fatalf("traces diverge at %d: %v vs %v", i, t1[i], t2[i])
 		}
+	}
+}
+
+// TestEventQueueDrainOrderProperty drives the 4-ary value heap with
+// randomized timestamp batches and asserts the drain order equals a
+// reference stable sort by (at, seq) — the total order the engine's
+// determinism guarantee rests on.
+func TestEventQueueDrainOrderProperty(t *testing.T) {
+	rng := NewRNG(0xD15C0)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(257)
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			idx int
+		}
+		scheduled := make([]rec, 0, n)
+		var got []int
+		for i := 0; i < n; i++ {
+			// Narrow timestamp range to force many (at) ties; seq breaks them.
+			at := Time(rng.Intn(32)) * Nanosecond
+			scheduled = append(scheduled, rec{at: at, idx: i})
+			i := i
+			e.At(at, func() { got = append(got, i) })
+		}
+		want := append([]rec(nil), scheduled...)
+		sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
+		if e.Run() != want[n-1].at {
+			t.Fatalf("trial %d: end time mismatch", trial)
+		}
+		for i := range want {
+			if got[i] != want[i].idx {
+				t.Fatalf("trial %d: drain[%d] = event %d, want %d", trial, i, got[i], want[i].idx)
+			}
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("trial %d: %d events left queued", trial, e.Pending())
+		}
+	}
+}
+
+// TestEventQueueInterleavedPushPop mixes scheduling with execution —
+// events that schedule more events, including at the current instant —
+// and checks the engine never fires out of (at, seq) order.
+func TestEventQueueInterleavedPushPop(t *testing.T) {
+	rng := NewRNG(0xBEEF)
+	e := NewEngine()
+	var lastAt Time = -1
+	fired := 0
+	var spawn func(depth int) func()
+	spawn = func(depth int) func() {
+		return func() {
+			if e.Now() < lastAt {
+				t.Fatalf("time went backwards: %v after %v", e.Now(), lastAt)
+			}
+			lastAt = e.Now()
+			fired++
+			if depth < 3 {
+				kids := rng.Intn(3)
+				for k := 0; k < kids; k++ {
+					e.After(Time(rng.Intn(5))*Nanosecond, spawn(depth+1))
+				}
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		e.At(Time(rng.Intn(50))*Nanosecond, spawn(0))
+	}
+	e.Run()
+	if fired < 100 {
+		t.Fatalf("fired %d < 100 root events", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events left queued", e.Pending())
 	}
 }

@@ -247,6 +247,15 @@ func (c *Chip) FinishCycle() int64 {
 
 // NextIssue returns the unit with the earliest pending instruction, or
 // (NumUnits, false) when none remain runnable.
+//
+// Monotonicity contract: executing the returned instruction never creates
+// an issue opportunity earlier than its own cycle. Unit cursors only move
+// forward (every latency is ≥ 0, and RuntimeDeskew can hold a cursor at
+// the current cycle but never rewind it), so once NextIssue reports time
+// t, no future call on this chip reports a time < t. The window-parallel
+// cluster executor (internal/runtime) depends on this: a chip whose next
+// issue is at or beyond the window horizon stays beyond it for the whole
+// window, so excluding it from the window is safe.
 func (c *Chip) NextIssue() (isa.Unit, int64, bool) {
 	best := isa.NumUnits
 	var bestT int64
@@ -278,6 +287,31 @@ func (c *Chip) Step() bool {
 	c.pc[u]++
 	c.execute(u, in, t)
 	return c.fault == nil
+}
+
+// StepUntil executes every pending instruction with issue cycle < horizon,
+// in NextIssue order, stopping early on fault. It returns the chip's next
+// issue cycle (≥ horizon) and true while instructions remain runnable, or
+// (0, false) when the chip ran out of runnable work or faulted.
+//
+// Unlike Step, StepUntil never classifies "no runnable work" as a
+// deadlock: the cluster executor calls it only on chips it believes
+// runnable and performs its own wedge analysis across all chips in the
+// run epilogue, exactly as the sequential executor always has.
+func (c *Chip) StepUntil(horizon int64) (int64, bool) {
+	for c.fault == nil {
+		u, t, ok := c.NextIssue()
+		if !ok {
+			return 0, false
+		}
+		if t >= horizon {
+			return t, true
+		}
+		in := c.prog.Streams[u][c.pc[u]]
+		c.pc[u]++
+		c.execute(u, in, t)
+	}
+	return 0, false
 }
 
 func (c *Chip) anyParked() bool {

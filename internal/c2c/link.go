@@ -102,6 +102,38 @@ type Config struct {
 	BitErrorRate float64
 }
 
+// Health classifies a link's operational state as the runtime health
+// monitor sees it (§4.5). State transitions are driven by the fault plan
+// and the recovery ladder, never by the link itself: the fabric has no
+// link-layer retry or renegotiation, so only software changes a link's
+// standing.
+type Health int
+
+const (
+	// Healthy links carry traffic at their characterized latency.
+	Healthy Health = iota
+	// Degraded links are operational but marginal (elevated BER or a
+	// recent flap); the runtime should re-characterize before trusting
+	// them.
+	Degraded
+	// Down links have lost carrier; anything scheduled over them arrives
+	// as garbage the FEC flags uncorrectable.
+	Down
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Down:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
 // IntraNode returns the standard 0.75 m electrical intra-node cable.
 func IntraNode() Config { return Config{Length: 0.75, Media: Electrical} }
 
@@ -117,6 +149,13 @@ type Link struct {
 	cfg       Config
 	rng       *sim.RNG
 	meanShift float64 // small per-link manufacturing variation
+
+	// health is the monitor-visible state; alignedMargin is extra deskew
+	// FIFO depth added by post-flap re-characterization (hac.Recharacterize)
+	// on top of the clipJitter worst case. flaps counts health excursions.
+	health        Health
+	alignedMargin int
+	flaps         *obs.Counter
 
 	// Observability counters (nil when no recorder is attached). Links
 	// share unlabeled aggregate counters by default; Instrument installs
@@ -150,10 +189,43 @@ func (l *Link) Instrument(rec *obs.Recorder, labels ...obs.Label) {
 	l.framesRx = rec.Counter("c2c.frames_rx", labels...)
 	l.sbesCorrected = rec.Counter("c2c.sbes_corrected", labels...)
 	l.mbesDetected = rec.Counter("c2c.mbes_detected", labels...)
+	l.flaps = rec.Counter("c2c.link_flaps", labels...)
 }
 
 // Config returns the link's physical configuration.
 func (l *Link) Config() Config { return l.cfg }
+
+// Health returns the link's monitor-visible state.
+func (l *Link) Health() Health { return l.health }
+
+// SetHealth records a state transition. Entering a non-healthy state
+// counts as a flap; re-characterization (hac.Recharacterize) restores
+// Healthy.
+func (l *Link) SetHealth(h Health) {
+	if h != Healthy && l.health == Healthy {
+		l.flaps.Inc()
+	}
+	l.health = h
+}
+
+// SetBitErrorRate changes the link's error process mid-life — the fault
+// hook a BER-excursion event uses. The jitter/error RNG stream is
+// unaffected, so deterministic replays stay deterministic.
+func (l *Link) SetBitErrorRate(ber float64) { l.cfg.BitErrorRate = ber }
+
+// AlignedMarginCycles is the extra presentation latency added on top of
+// the characterized worst case by post-flap re-characterization.
+func (l *Link) AlignedMarginCycles() int { return l.alignedMargin }
+
+// SetAlignedMargin installs a new deskew margin (cycles above the
+// characterized worst case). Negative margins clamp to zero: the deskew
+// FIFO can widen but never present earlier than the worst observed draw.
+func (l *Link) SetAlignedMargin(cycles int) {
+	if cycles < 0 {
+		cycles = 0
+	}
+	l.alignedMargin = cycles
+}
 
 // MinLatencyCycles is the deterministic floor of the link's latency.
 func (l *Link) MinLatencyCycles() int {
@@ -179,11 +251,12 @@ func (l *Link) DrawLatencyCycles() int {
 }
 
 // AlignedLatencyCycles is the fixed latency the receive deskew FIFO presents
-// after link characterization: the worst-case draw. Once a link is trained,
-// every vector arrives exactly this many cycles after transmission, which is
-// what makes the fabric schedulable.
+// after link characterization: the worst-case draw, plus any margin added by
+// post-flap re-characterization. Once a link is trained, every vector
+// arrives exactly this many cycles after transmission, which is what makes
+// the fabric schedulable.
 func (l *Link) AlignedLatencyCycles() int {
-	return l.MinLatencyCycles() + clipJitter
+	return l.MinLatencyCycles() + clipJitter + l.alignedMargin
 }
 
 // Frame is one vector on the wire.

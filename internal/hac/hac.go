@@ -129,6 +129,49 @@ func CharacterizeLink(link *c2c.Link, iters int) *stats.Summary {
 	return s
 }
 
+// RecharacterizeGuardCycles is the guard band a post-flap
+// re-characterization adds to a link's aligned presentation latency: a
+// link that flapped is assumed marginal, so the deskew FIFO widens by this
+// much even when the re-observed draws look clean.
+const RecharacterizeGuardCycles = 8
+
+// Recharacterize re-runs the reflect protocol on a link that flapped or
+// showed uncorrectable errors, and widens its aligned presentation
+// latency: the deskew FIFO re-trains to cover the worst re-observed draw
+// plus a guard band. A marginal link thus trades a few cycles of fixed
+// latency for schedule safety instead of being retired outright — the
+// middle rung of the §4.5 recovery ladder. The link is marked Healthy
+// again, and the new aligned latency is returned.
+func Recharacterize(link *c2c.Link, iters int) int {
+	obs.Get().Counter("hac.recharacterizations").Inc()
+	s := CharacterizeLink(link, iters)
+	// base is the pre-margin presentation latency (characterized worst
+	// case); the new margin must cover the worst fresh draw plus guard,
+	// and never shrinks below one guard band over the old margin.
+	base := link.AlignedLatencyCycles() - link.AlignedMarginCycles()
+	margin := int(s.Max()) + RecharacterizeGuardCycles - base
+	if floor := link.AlignedMarginCycles() + RecharacterizeGuardCycles; margin < floor {
+		margin = floor
+	}
+	link.SetAlignedMargin(margin)
+	link.SetHealth(c2c.Healthy)
+	return link.AlignedLatencyCycles()
+}
+
+// HeartbeatDeadlineCycles is the detection deadline of the runtime health
+// monitor: a chip heartbeats every intervalEpochs HAC epochs, and its node
+// is declared suspect when no heartbeat lands within one full interval
+// plus the propagation grace of the §3.2 bound for a single hop —
+// (⌊L/period⌋+1) epochs for the worst link latency L. This is the same
+// deadline math that bounds initial synchronization, reused for failure
+// detection.
+func HeartbeatDeadlineCycles(intervalEpochs int, maxLinkLatencyCycles int64) int64 {
+	if intervalEpochs < 1 {
+		intervalEpochs = 1
+	}
+	return int64(intervalEpochs)*Period + SyncOverheadCycles(maxLinkLatencyCycles, 1)
+}
+
 // Edge is a parent→child HAC relationship over a physical link.
 type Edge struct {
 	Parent, Child *Device

@@ -59,6 +59,12 @@ type pendRef struct {
 // metrics are identical across worker counts; use RunSequential for the
 // plain heap executor.
 func (cl *Cluster) RunParallel(workers int) (int64, error) {
+	finish, err := cl.runParallel(workers)
+	cl.noteRunEnd(finish)
+	return finish, err
+}
+
+func (cl *Cluster) runParallel(workers int) (int64, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -91,7 +97,14 @@ func (cl *Cluster) RunParallel(workers int) (int64, error) {
 		// issue before end, so excluding it from this window is safe.
 		active = active[:0]
 		for len(h) > 0 && h[0].t < end {
-			active = append(active, h.pop().idx)
+			e := h.pop()
+			// Same death guard as the sequential executor: a chip whose
+			// next issue falls at or past its scheduled death never runs
+			// again.
+			if cl.death != nil && e.t >= cl.death[e.idx] {
+				continue
+			}
+			active = append(active, e.idx)
 		}
 		windowsC.Inc()
 		windowChipsC.Add(int64(len(active)))
@@ -110,7 +123,7 @@ func (cl *Cluster) RunParallel(workers int) (int64, error) {
 		cl.buffering = true
 		if workers == 1 || len(active) == 1 {
 			for _, i := range active {
-				nexts[i], oks[i] = cl.chips[i].StepUntil(end)
+				nexts[i], oks[i] = cl.stepChip(i, end)
 			}
 		} else {
 			w := workers
@@ -129,7 +142,7 @@ func (cl *Cluster) RunParallel(workers int) (int64, error) {
 							return
 						}
 						i := active[j]
-						nexts[i], oks[i] = cl.chips[i].StepUntil(end)
+						nexts[i], oks[i] = cl.stepChip(i, end)
 					}
 				}()
 			}
@@ -167,6 +180,16 @@ func (cl *Cluster) RunParallel(workers int) (int64, error) {
 		}
 	}
 	return cl.finish()
+}
+
+// stepChip advances one chip to the window horizon, clamped to the chip's
+// scheduled death: instructions at or past the death cycle never execute,
+// the same predicate the sequential executor's pop guard enforces.
+func (cl *Cluster) stepChip(i int, end int64) (int64, bool) {
+	if cl.death != nil && cl.death[i] < end {
+		end = cl.death[i]
+	}
+	return cl.chips[i].StepUntil(end)
 }
 
 // flushPending delivers every buffered send in ascending (cycle, source

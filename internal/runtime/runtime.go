@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/c2c"
+	"repro/internal/faultplan"
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/route"
@@ -61,6 +62,23 @@ type Cluster struct {
 	links     map[topo.LinkID]*c2c.Link
 	Corrected int64
 	MBEs      int64
+
+	// Fault schedule (§4.5, see faults.go): a compiled faultplan stamped
+	// in wall cycles, the wall cycle of this run's cycle 0, links the
+	// ladder already repaired (plan events ignored), and each chip's
+	// run-local death cycle (chipAlive when it survives the run).
+	fplan    *faultplan.Compiled
+	fbase    int64
+	repaired map[topo.LinkID]bool
+	death    []int64
+
+	// Health telemetry for the monitor: per-link uncorrectable-frame
+	// tallies, the run-local cycle each link first erred, the earliest MBE
+	// overall (−1 until one lands), and the horizon the last run reached.
+	linkMBEs      map[topo.LinkID]int64
+	linkFirstMBE  map[topo.LinkID]int64
+	firstMBECycle int64
+	endCycle      int64
 
 	// Observability (nil-safe; attached from obs.Get at construction).
 	rec        *obs.Recorder
@@ -167,7 +185,7 @@ func New(sys *topo.System, programs []*isa.Program) (*Cluster, error) {
 	if len(programs) > sys.NumTSPs() {
 		return nil, fmt.Errorf("runtime: %d programs for %d TSPs", len(programs), sys.NumTSPs())
 	}
-	cl := &Cluster{sys: sys, workers: defaultWorkers}
+	cl := &Cluster{sys: sys, workers: defaultWorkers, firstMBECycle: -1}
 	if rec := obs.Get(); rec != nil {
 		cl.rec = rec
 		cl.vectors = rec.Counter("runtime.vectors_delivered")
@@ -255,23 +273,38 @@ func (cl *Cluster) deliver(src topo.TSPID, link int, v tsp.Vector, cycle int64) 
 		cl.rec.SetThreadName(int(src), tid, fmt.Sprintf("link%d", link))
 		cl.rec.SpanCycles(int(src), tid, "c2c.tx", cycle, route.HopCycles)
 	}
-	if cl.ber > 0 {
-		phys, ok := cl.links[l.ID]
-		if !ok {
-			cfg := l.Cable
-			cfg.BitErrorRate = cl.ber
-			phys = c2c.New(cfg, cl.errRNG.Fork(uint64(l.ID)))
-			if cl.rec != nil {
-				phys.Instrument(cl.rec, obs.L("link", fmt.Sprintf("L%04d", l.ID)))
-			}
-			cl.links[l.ID] = phys
+	// Merge any scheduled fault covering this delivery. Plan events are
+	// stamped in wall cycles; this run's cycle 0 sits at cl.fbase.
+	ber := cl.ber
+	down := false
+	if cl.fplan != nil && !cl.repaired[l.ID] {
+		wall := cl.fbase + cycle
+		if cl.fplan.LinkDownAt(l.ID, wall) {
+			down = true
+		} else if e, ok := cl.fplan.LinkBERAt(l.ID, wall); ok {
+			ber = e
 		}
+	}
+	if down {
+		// Carrier lost: the frame still occupies its deskew slot but
+		// arrives as garbage the FEC flags uncorrectable — timing is
+		// preserved, the payload is not.
+		cl.MBEs++
+		cl.noteLinkMBE(l.ID, cycle)
+		if cl.rec != nil {
+			cl.rec.InstantCycles(int(src), obs.TidLinkBase+link, "c2c.mbe", cycle)
+		}
+		v = tsp.Vector{}
+	} else if ber > 0 {
+		phys := cl.physLink(l)
+		phys.SetBitErrorRate(ber)
 		var frame c2c.Frame
 		frame.Payload = [c2c.VectorBytes]byte(v)
 		rx, corrected, mbe := phys.Receive(phys.Transmit(frame))
 		cl.Corrected += int64(corrected)
 		if mbe {
 			cl.MBEs++
+			cl.noteLinkMBE(l.ID, cycle)
 			if cl.rec != nil {
 				cl.rec.InstantCycles(int(src), obs.TidLinkBase+link, "c2c.mbe", cycle)
 			}
@@ -391,9 +424,21 @@ func (cl *Cluster) Run() (int64, error) {
 // by next-issue cycle, popping the earliest (ties toward the lowest chip
 // index) and executing all of that chip's instructions at that cycle.
 func (cl *Cluster) RunSequential() (int64, error) {
+	finish, err := cl.runSequential()
+	cl.noteRunEnd(finish)
+	return finish, err
+}
+
+func (cl *Cluster) runSequential() (int64, error) {
 	h := cl.runnableHeap()
 	for len(h) > 0 {
 		e := h.pop()
+		// A chip scheduled to die at or before this cycle never issues
+		// again: its remaining program is abandoned, and only its silence
+		// (receiver underflows, missed heartbeats) is observable.
+		if cl.death != nil && e.t >= cl.death[e.idx] {
+			continue
+		}
 		// Execute every instruction this chip issues at cycle e.t. Chips
 		// cannot disturb each other's cursors, and a send launched at e.t
 		// arrives a full hop later, so batching a chip's same-cycle
@@ -415,8 +460,11 @@ func (cl *Cluster) RunSequential() (int64, error) {
 // link errors.
 func (cl *Cluster) finish() (int64, error) {
 	var finish int64
-	for _, chip := range cl.chips {
+	for i, chip := range cl.chips {
 		if !chip.Done() {
+			if cl.death != nil && cl.death[i] != chipAlive {
+				return chip.FinishCycle(), fmt.Errorf("runtime: chip %d dead (scheduled fault at cycle %d); failover required", chip.ID, cl.death[i])
+			}
 			if f := chip.Fault(); f != nil {
 				return chip.FinishCycle(), f
 			}
@@ -457,10 +505,11 @@ func RunWithReplay(build func(attempt int) (*Cluster, error), maxAttempts int) (
 			return finish, attempt, nil
 		}
 		lastErr = err
+		// Every obs call is nil-safe, so no rec guard; the instant is
+		// stamped at the cycle the failure became observable (fault cycle
+		// or first uncorrectable frame), not the failed run's finish.
 		rec.Counter("runtime.replay_attempts").Inc()
-		if rec != nil {
-			rec.InstantCycles(obs.PidFabric, 0, "runtime.replay", finish)
-		}
+		rec.InstantCycles(obs.PidFabric, 0, "runtime.replay", cl.DetectCycle(finish, err))
 	}
 	rec.Counter("runtime.replays_exhausted").Inc()
 	return 0, maxAttempts, fmt.Errorf("runtime: replay budget exhausted: %w", lastErr)

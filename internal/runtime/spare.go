@@ -11,37 +11,98 @@ import (
 //
 // Every deployed rack provisions one spare node. When the runtime's health
 // monitor marks a node unusable, the logical devices mapped onto it move to
-// the spare, and — because the Dragonfly is edge and node symmetric — the
+// a spare, and — because the Dragonfly is edge and node symmetric — the
 // network remains fully connected for the remapped program. Larger systems
 // can provision one spare per system instead, dropping the overhead from
-// 11% (1/9) to ~3% (1/33).
+// 11% (1/9) to ~3% (1/33); SparePolicy selects between the two.
+
+// SparePolicy selects how many nodes an allocation holds in reserve.
+type SparePolicy int
+
+const (
+	// SparePerSystem reserves a single spare node for the whole system —
+	// the paper's ~3% overhead point at 33 nodes (1/33).
+	SparePerSystem SparePolicy = iota
+	// SparePerRack reserves one spare node in every rack — the 11%
+	// overhead point (1/9), but failovers stay rack-local and sequential
+	// node failures in different racks are all recoverable.
+	SparePerRack
+)
+
+func (p SparePolicy) String() string {
+	switch p {
+	case SparePerSystem:
+		return "per-system"
+	case SparePerRack:
+		return "per-rack"
+	default:
+		return "unknown"
+	}
+}
 
 // Allocation maps a parallel program's logical devices onto physical TSPs,
-// holding one node in reserve.
+// holding one or more nodes in reserve.
 type Allocation struct {
 	sys *topo.System
 	// tspOf[logical] is the physical TSP currently serving the device.
 	tspOf []topo.TSPID
-	// spare is the reserved node.
-	spare topo.NodeID
+	// spares are the reserved nodes still available, ascending.
+	spares []topo.NodeID
+	// reserved is the number of spares provisioned at construction.
+	reserved int
 	// failed marks retired nodes.
 	failed map[topo.NodeID]bool
 }
 
-// NewAllocation reserves the highest-numbered node as the hot spare and
-// packs the program's logical devices onto the remaining TSPs in order.
+// NewAllocation reserves the highest-numbered node as the single hot spare
+// (SparePerSystem) and packs the program's logical devices onto the
+// remaining TSPs in order.
 func NewAllocation(sys *topo.System, devices int) (*Allocation, error) {
+	return NewAllocationWithPolicy(sys, devices, SparePerSystem)
+}
+
+// NewAllocationWithPolicy reserves spare nodes per the policy — the
+// highest-numbered node of the system, or of every rack — and packs the
+// program's logical devices onto the remaining TSPs in ascending order,
+// skipping reserved nodes.
+func NewAllocationWithPolicy(sys *topo.System, devices int, policy SparePolicy) (*Allocation, error) {
 	if sys.NumNodes() < 2 {
 		return nil, fmt.Errorf("runtime: N+1 sparing needs at least two nodes")
 	}
-	spare := topo.NodeID(sys.NumNodes() - 1)
-	usable := (sys.NumNodes() - 1) * topo.TSPsPerNode
+	var spares []topo.NodeID
+	switch policy {
+	case SparePerSystem:
+		spares = []topo.NodeID{topo.NodeID(sys.NumNodes() - 1)}
+	case SparePerRack:
+		// The highest node of each rack is its spare (racks fill in node
+		// order, so the highest is the last packed).
+		highest := map[topo.RackID]topo.NodeID{}
+		for n := 0; n < sys.NumNodes(); n++ {
+			highest[topo.NodeID(n).Rack()] = topo.NodeID(n)
+		}
+		for r := topo.RackID(0); r <= topo.NodeID(sys.NumNodes()-1).Rack(); r++ {
+			spares = append(spares, highest[r])
+		}
+	default:
+		return nil, fmt.Errorf("runtime: unknown spare policy %d", policy)
+	}
+	isSpare := map[topo.NodeID]bool{}
+	for _, s := range spares {
+		isSpare[s] = true
+	}
+	usable := (sys.NumNodes() - len(spares)) * topo.TSPsPerNode
 	if devices > usable {
 		return nil, fmt.Errorf("runtime: %d devices exceed %d non-spare TSPs", devices, usable)
 	}
-	a := &Allocation{sys: sys, spare: spare, failed: map[topo.NodeID]bool{}}
-	for d := 0; d < devices; d++ {
-		a.tspOf = append(a.tspOf, topo.TSPID(d))
+	a := &Allocation{sys: sys, spares: spares, reserved: len(spares), failed: map[topo.NodeID]bool{}}
+	for n, d := topo.NodeID(0), 0; d < devices; n++ {
+		if isSpare[n] {
+			continue
+		}
+		for i := 0; i < topo.TSPsPerNode && d < devices; i++ {
+			a.tspOf = append(a.tspOf, topo.TSPID(int(n)*topo.TSPsPerNode+i))
+			d++
+		}
 	}
 	return a, nil
 }
@@ -49,29 +110,69 @@ func NewAllocation(sys *topo.System, devices int) (*Allocation, error) {
 // TSPOf returns the physical TSP serving the logical device.
 func (a *Allocation) TSPOf(device int) topo.TSPID { return a.tspOf[device] }
 
-// Spare returns the current spare node (the target of the next failover).
-func (a *Allocation) Spare() topo.NodeID { return a.spare }
+// Devices returns the number of logical devices in the allocation.
+func (a *Allocation) Devices() int { return len(a.tspOf) }
+
+// Spare returns the next spare node (the default target of the next
+// failover), or −1 when none remain.
+func (a *Allocation) Spare() topo.NodeID {
+	if len(a.spares) == 0 {
+		return -1
+	}
+	return a.spares[0]
+}
+
+// SpareCount reports how many reserve nodes remain available.
+func (a *Allocation) SpareCount() int { return len(a.spares) }
 
 // OverheadFraction reports the sparing overhead: reserved / total nodes.
 func (a *Allocation) OverheadFraction() float64 {
-	return 1.0 / float64(a.sys.NumNodes())
+	return float64(a.reserved) / float64(a.sys.NumNodes())
 }
 
-// FailNode retires a node: every logical device on it moves to the spare
+// takeSpare removes and returns the best spare for a failure on node n:
+// a spare in n's rack when one is available (the failover then stays
+// rack-local), else the lowest-numbered spare.
+func (a *Allocation) takeSpare(n topo.NodeID) topo.NodeID {
+	pick := 0
+	for i, s := range a.spares {
+		if s.Rack() == n.Rack() {
+			pick = i
+			break
+		}
+	}
+	s := a.spares[pick]
+	a.spares = append(a.spares[:pick], a.spares[pick+1:]...)
+	return s
+}
+
+// FailNode retires a node: every logical device on it moves to a spare
 // (preserving local index, so the remapped program keeps its intra-node
-// communication pattern), and the spare slot is consumed.
+// communication pattern), and that spare is consumed. Failing an idle
+// spare node simply removes it from the reserve pool — unless it is the
+// last one, which would leave the system unrecoverable.
 func (a *Allocation) FailNode(n topo.NodeID) error {
 	if a.failed[n] {
 		return fmt.Errorf("runtime: node %d already failed", n)
 	}
-	if n == a.spare {
-		return fmt.Errorf("runtime: the spare node itself failed; no capacity to recover")
+	for i, s := range a.spares {
+		if s != n {
+			continue
+		}
+		if len(a.spares) == 1 {
+			return fmt.Errorf("runtime: the spare node itself failed; no capacity to recover")
+		}
+		a.spares = append(a.spares[:i], a.spares[i+1:]...)
+		a.failed[n] = true
+		obs.Get().Counter("runtime.spares_retired").Inc()
+		return nil
 	}
-	if a.spare < 0 {
+	if len(a.spares) == 0 {
 		return fmt.Errorf("runtime: no spare remaining")
 	}
 	a.failed[n] = true
-	base := topo.TSPID(int(a.spare) * topo.TSPsPerNode)
+	spare := a.takeSpare(n)
+	base := topo.TSPID(int(spare) * topo.TSPsPerNode)
 	moved := int64(0)
 	for d, t := range a.tspOf {
 		if t.Node() == n {
@@ -79,7 +180,6 @@ func (a *Allocation) FailNode(n topo.NodeID) error {
 			moved++
 		}
 	}
-	a.spare = -1
 	obs.Get().Counter("runtime.spare_failovers").Inc()
 	obs.Get().Counter("runtime.devices_remapped").Add(moved)
 	return nil

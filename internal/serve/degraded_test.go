@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"testing"
+)
+
+// A recovery stall mid-stream must push the replay tail into the latency
+// percentiles, and a capacity loss must slow everything after it.
+func TestRunDegradedFaultVisibleInTail(t *testing.T) {
+	cfg := Config{
+		ServiceUS:         100,
+		PipelineDepth:     4,
+		ArrivalRatePerSec: 5000, // 50% load
+		Requests:          2000,
+		Seed:              9,
+	}
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One incident: a 20 ms replay stall a quarter into the run, full
+	// capacity afterwards (clean failover onto a spare).
+	faulty, err := RunDegraded(cfg, []Incident{{StartUS: 100_000, ReplayUS: 20_000, CapacityFrac: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.ReplayedRequests == 0 {
+		t.Fatal("no requests saw the recovery stall")
+	}
+	if faulty.DegradedRequests != 0 {
+		t.Errorf("full-capacity failover should not degrade requests, got %d", faulty.DegradedRequests)
+	}
+	if faulty.MaxUS < clean.MaxUS+19_000 {
+		t.Errorf("replay tail missing: max %.0fµs vs clean %.0fµs", faulty.MaxUS, clean.MaxUS)
+	}
+	if faulty.P50US < clean.P50US {
+		t.Errorf("median should not improve under a fault: %.0f vs %.0f", faulty.P50US, clean.P50US)
+	}
+	if faulty.AvailableFrac >= 1 || faulty.AvailableFrac <= 0 {
+		t.Errorf("AvailableFrac = %v", faulty.AvailableFrac)
+	}
+
+	// Same stall, but the spares were exhausted: half capacity afterwards.
+	degraded, err := RunDegraded(cfg, []Incident{{StartUS: 100_000, ReplayUS: 20_000, CapacityFrac: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.DegradedRequests == 0 {
+		t.Fatal("no requests marked degraded at half capacity")
+	}
+	if degraded.P99US <= faulty.P99US {
+		t.Errorf("half capacity should worsen the tail: p99 %.0f vs %.0f", degraded.P99US, faulty.P99US)
+	}
+}
+
+// RunDegraded with no incidents must be exactly Run.
+func TestRunDegradedNoIncidentsMatchesRun(t *testing.T) {
+	cfg := Config{ServiceUS: 100, PipelineDepth: 4, ArrivalRatePerSec: 7000, Requests: 500, Seed: 3}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDegraded(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b.Result {
+		t.Fatalf("results differ: %+v vs %+v", a, b.Result)
+	}
+	if b.ReplayedRequests != 0 || b.DegradedRequests != 0 || b.AvailableFrac != 1 {
+		t.Fatalf("clean run has recovery footprint: %+v", b)
+	}
+}
+
+// The incident engine is deterministic: identical configs and schedules
+// give identical results.
+func TestRunDegradedDeterministic(t *testing.T) {
+	cfg := Config{ServiceUS: 100, PipelineDepth: 4, ArrivalRatePerSec: 8000, Requests: 1000, Seed: 11}
+	incs := []Incident{
+		{StartUS: 30_000, ReplayUS: 5_000, CapacityFrac: 1},
+		{StartUS: 70_000, ReplayUS: 8_000, CapacityFrac: 0.75},
+	}
+	a, err := RunDegraded(cfg, incs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDegraded(cfg, incs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunDegradedValidation(t *testing.T) {
+	cfg := Config{ServiceUS: 100, PipelineDepth: 4, ArrivalRatePerSec: 8000, Requests: 10, Seed: 1}
+	if _, err := RunDegraded(cfg, []Incident{{StartUS: 0, ReplayUS: -1, CapacityFrac: 1}}); err == nil {
+		t.Error("negative ReplayUS should be rejected")
+	}
+	if _, err := RunDegraded(cfg, []Incident{{StartUS: 0, CapacityFrac: 2}}); err == nil {
+		t.Error("CapacityFrac > 1 should be rejected")
+	}
+}

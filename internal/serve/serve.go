@@ -54,16 +54,57 @@ type Result struct {
 	Utilization float64
 }
 
-// Run simulates the scenario.
+// Incident is one fault's serving-visible footprint (§4.5's last rung):
+// at StartUS the deployment stalls for ReplayUS (detection + replay +
+// failover turnaround, converted to host time), then continues at
+// CapacityFrac of its compiled capacity — 1.0 after a clean failover onto
+// a spare, < 1.0 when the spares are exhausted and the remap squeezed the
+// model onto fewer chips. The capacity factor persists until the next
+// incident overrides it (or the run ends).
+type Incident struct {
+	StartUS      float64
+	ReplayUS     float64
+	CapacityFrac float64
+}
+
+// DegradedResult extends Result with the recovery footprint.
+type DegradedResult struct {
+	Result
+	// ReplayedRequests arrived during a recovery stall; their queueing
+	// delay carries the replay tail into the latency percentiles.
+	ReplayedRequests int
+	// DegradedRequests were served at reduced capacity.
+	DegradedRequests int
+	// AvailableFrac is 1 − (total stall time / wall time).
+	AvailableFrac float64
+}
+
+// Run simulates the scenario with no incidents.
 func Run(cfg Config) (Result, error) {
+	r, err := RunDegraded(cfg, nil)
+	return r.Result, err
+}
+
+// RunDegraded simulates the scenario through a deterministic incident
+// schedule: the request stream keeps arriving while the runtime walks the
+// recovery ladder, so the replay tail and the degraded-capacity era are
+// visible in the same latency percentiles the healthy run reports.
+func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 	if cfg.ServiceUS <= 0 || cfg.PipelineDepth < 1 || cfg.Requests < 1 || cfg.ArrivalRatePerSec <= 0 {
-		return Result{}, fmt.Errorf("serve: invalid config %+v", cfg)
+		return DegradedResult{}, fmt.Errorf("serve: invalid config %+v", cfg)
+	}
+	incs := append([]Incident(nil), incidents...)
+	sort.SliceStable(incs, func(i, j int) bool { return incs[i].StartUS < incs[j].StartUS })
+	for _, inc := range incs {
+		if inc.ReplayUS < 0 || inc.CapacityFrac < 0 || inc.CapacityFrac > 1 {
+			return DegradedResult{}, fmt.Errorf("serve: invalid incident %+v", inc)
+		}
 	}
 	rng := sim.NewRNG(cfg.Seed)
 	meanGapUS := 1e6 / cfg.ArrivalRatePerSec
 
 	rec := obs.Get()
-	var reqCount, queuedCount *obs.Counter
+	var reqCount, queuedCount, replayedCount, degradedCount *obs.Counter
 	var latHist *obs.Histogram
 	if rec != nil {
 		rec.SetProcessName(obs.PidHost, "host")
@@ -73,17 +114,26 @@ func Run(cfg Config) (Result, error) {
 		// Bins of 100 µs up to 50 ms cover the paper's serving latencies;
 		// the overflow bin catches saturation tails exactly.
 		latHist = rec.Histogram("serve.latency_us", 0, 100, 500)
+		if len(incs) > 0 {
+			replayedCount = rec.Counter("serve.replayed_requests")
+			degradedCount = rec.Counter("serve.degraded_requests")
+		}
 	}
 
 	// The pipeline admits a new inference every ServiceUS (initiation
 	// interval), with PipelineDepth in flight; a request's latency is
 	// wait-for-slot + PipelineDepth·ServiceUS (fill) — modeled as a
 	// single server with service = ServiceUS and a fixed residency.
-	var lat []float64
+	lat := make([]float64, 0, cfg.Requests)
 	arrival := 0.0
 	slotFree := 0.0
 	busy := 0.0
 	var lastDone float64
+	nextInc := 0
+	stallEnd := 0.0
+	stallTotal := 0.0
+	scale := 1.0
+	res := DegradedResult{AvailableFrac: 1}
 	for i := 0; i < cfg.Requests; i++ {
 		// Exponential inter-arrival via inverse transform.
 		u := rng.Float64()
@@ -91,21 +141,56 @@ func Run(cfg Config) (Result, error) {
 			u = 1e-12
 		}
 		arrival += -math.Log(u) * meanGapUS
+		// Activate every incident that struck before this arrival: the
+		// pipeline slot is blocked through the recovery stall, and the
+		// capacity factor applies to everything that follows.
+		for nextInc < len(incs) && incs[nextInc].StartUS <= arrival {
+			inc := incs[nextInc]
+			nextInc++
+			if end := inc.StartUS + inc.ReplayUS; end > stallEnd {
+				stallEnd = end
+			}
+			if stallEnd > slotFree {
+				slotFree = stallEnd
+			}
+			if inc.CapacityFrac > 0 {
+				scale = 1 / inc.CapacityFrac
+			}
+			stallTotal += inc.ReplayUS
+			if rec != nil {
+				rec.Counter("serve.incidents").Inc()
+				rec.SpanUS(obs.PidHost, serveTid, "serve.incident", inc.StartUS, inc.ReplayUS)
+			}
+		}
+		serviceUS := cfg.ServiceUS * scale
 		start := arrival
 		if slotFree > start {
 			start = slotFree
 		}
-		slotFree = start + cfg.ServiceUS
-		busy += cfg.ServiceUS
-		done := start + float64(cfg.PipelineDepth)*cfg.ServiceUS
+		slotFree = start + serviceUS
+		busy += serviceUS
+		done := start + float64(cfg.PipelineDepth)*serviceUS
 		lat = append(lat, done-arrival)
 		if done > lastDone {
 			lastDone = done
+		}
+		replayed := arrival < stallEnd
+		if replayed {
+			res.ReplayedRequests++
+		}
+		if scale > 1 {
+			res.DegradedRequests++
 		}
 		if rec != nil {
 			reqCount.Inc()
 			if start > arrival {
 				queuedCount.Inc()
+			}
+			if replayed {
+				replayedCount.Inc()
+			}
+			if scale > 1 {
+				degradedCount.Inc()
 			}
 			latHist.Add(done - arrival)
 			if i < maxRequestSpans {
@@ -120,14 +205,21 @@ func Run(cfg Config) (Result, error) {
 		idx := int(p / 100 * float64(len(lat)-1))
 		return lat[idx]
 	}
-	return Result{
+	if lastDone > 0 && stallTotal > 0 {
+		res.AvailableFrac = 1 - stallTotal/lastDone
+		if res.AvailableFrac < 0 {
+			res.AvailableFrac = 0
+		}
+	}
+	res.Result = Result{
 		Requests:    cfg.Requests,
 		Throughput:  float64(cfg.Requests) / (lastDone / 1e6),
 		P50US:       pct(50),
 		P99US:       pct(99),
 		MaxUS:       lat[len(lat)-1],
 		Utilization: busy / lastDone,
-	}, nil
+	}
+	return res, nil
 }
 
 // SaturationSweep runs the scenario across load levels (fractions of the

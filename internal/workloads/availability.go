@@ -1,0 +1,106 @@
+package workloads
+
+// Availability vs. MTBF (§4.5): the recovery ladder turns hardware faults
+// into serving incidents — a replay stall when the fault is repairable, a
+// stall plus capacity loss once the spares run out. Sweeping the mean time
+// between faults shows where a deployment's availability budget actually
+// goes: frequent faults burn wall time in replays long before they exhaust
+// the spares.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// AvailabilityPoint is one MTBF level's serving outcome.
+type AvailabilityPoint struct {
+	MTBFHours float64
+	// Faults drawn inside the run's horizon; Replays recovered with a
+	// stall only, Failovers consumed a spare.
+	Faults, Replays, Failovers int
+	// SparesLeft after the run (0 means later faults degraded capacity).
+	SparesLeft int
+	// AvailableFrac, P99US, MaxUS, DegradedFrac summarize the serving run
+	// through those incidents.
+	AvailableFrac float64
+	P99US         float64
+	MaxUS         float64
+	DegradedFrac  float64
+}
+
+// AvailabilityVsMTBF sweeps mean-time-between-faults levels over one
+// serving scenario. For each level it draws a deterministic fault
+// schedule (exponential gaps, seeded per level), classifies each fault —
+// replay-only with probability replayFrac, node failover otherwise — and
+// plays the resulting incidents through serve.RunDegraded. Each failover
+// consumes one of spares; once they are gone every further failover
+// removes 1/(spares+1) of capacity. Replay stalls cost replayStallUS;
+// failovers cost an additional rebuild of the same length.
+func AvailabilityVsMTBF(cfg serve.Config, mtbfHours []float64, spares int, replayFrac, replayStallUS float64, seed uint64) ([]AvailabilityPoint, error) {
+	if cfg.Requests < 1 || cfg.ArrivalRatePerSec <= 0 {
+		return nil, fmt.Errorf("workloads: invalid serve config %+v", cfg)
+	}
+	if spares < 0 || replayFrac < 0 || replayFrac > 1 || replayStallUS <= 0 {
+		return nil, fmt.Errorf("workloads: invalid fault parameters")
+	}
+	// The run's horizon: expected arrival span plus drain slack.
+	horizonUS := float64(cfg.Requests) / cfg.ArrivalRatePerSec * 1e6 * 1.1
+	rng := sim.NewRNG(seed)
+	var out []AvailabilityPoint
+	for li, mtbf := range mtbfHours {
+		if mtbf <= 0 {
+			return nil, fmt.Errorf("workloads: MTBF %g must be positive", mtbf)
+		}
+		meanGapUS := mtbf * 3600 * 1e6
+		r := rng.Fork(uint64(li))
+		pt := AvailabilityPoint{MTBFHours: mtbf, SparesLeft: spares}
+		var incidents []serve.Incident
+		at := 0.0
+		capacity := 1.0
+		for {
+			u := r.Float64()
+			if u <= 0 {
+				u = 1e-12
+			}
+			at += -math.Log(u) * meanGapUS
+			if at >= horizonUS {
+				break
+			}
+			pt.Faults++
+			inc := serve.Incident{StartUS: at, ReplayUS: replayStallUS, CapacityFrac: capacity}
+			if r.Float64() < replayFrac {
+				// Repairable: re-characterize and replay; capacity holds.
+				pt.Replays++
+			} else {
+				// Node loss: replay plus rebuild on the remapped TSPs.
+				pt.Failovers++
+				inc.ReplayUS += replayStallUS
+				if pt.SparesLeft > 0 {
+					pt.SparesLeft--
+				} else {
+					// Spares exhausted: the remap squeezes the model onto
+					// fewer chips, shedding one node's worth of capacity.
+					capacity -= 1.0 / float64(spares+1)
+					if capacity < 0.1 {
+						capacity = 0.1
+					}
+					inc.CapacityFrac = capacity
+				}
+			}
+			incidents = append(incidents, inc)
+		}
+		res, err := serve.RunDegraded(cfg, incidents)
+		if err != nil {
+			return nil, err
+		}
+		pt.AvailableFrac = res.AvailableFrac
+		pt.P99US = res.P99US
+		pt.MaxUS = res.MaxUS
+		pt.DegradedFrac = float64(res.DegradedRequests) / float64(res.Requests)
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -23,10 +23,21 @@
 //	tspsim -exp scaling  strong vs weak scaling study
 //	tspsim -exp serve    inference serving under load
 //	tspsim -exp par      window-parallel executor equivalence + speedup
+//	tspsim -exp checkpoint  epoch checkpointing: resume cost vs cycle-0 replay
 //
 // The -workers flag sets the cluster executor parallelism for every
 // experiment: 1 (default) is the sequential executor, n > 1 the
 // deterministic window-parallel executor — results are byte-identical.
+//
+// The -checkpoint-every flag arms epoch-barrier checkpointing (a cadence
+// in cycles) on the recovery-ladder experiments, so replays resume from
+// the last clean barrier instead of cycle 0. -checkpoint-save writes one
+// snapshot of the canonical ring workload to a file and -restore-from
+// decodes such a file, re-emplaces it into a fresh cluster, and finishes
+// the run — a shell-level round trip of the checkpoint format:
+//
+//	tspsim -checkpoint-save /tmp/ring.ckpt
+//	tspsim -restore-from /tmp/ring.ckpt
 package main
 
 import (
@@ -37,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/c2c"
+	"repro/internal/checkpoint"
 	"repro/internal/clock"
 	"repro/internal/collective"
 	"repro/internal/compiler"
@@ -60,6 +72,11 @@ import (
 // workersN is the -workers flag value, visible to experiments that fan
 // work out themselves (serve sweeps, the par demo). Reset by run().
 var workersN = 1
+
+// checkpointEveryN is the -checkpoint-every flag value: the epoch-barrier
+// checkpoint cadence in cycles armed on the recovery-ladder experiments
+// (0 = off, replays restart from cycle 0). Reset by run().
+var checkpointEveryN int64
 
 var experiments = []struct {
 	name string
@@ -89,6 +106,7 @@ var experiments = []struct {
 	{"scaling", "strong vs weak scaling study", scaling},
 	{"serve", "inference serving under load", serveExp},
 	{"par", "window-parallel executor equivalence and speedup", parExp},
+	{"checkpoint", "epoch checkpointing: resume cost vs cycle-0 replay", checkpointExp},
 }
 
 func main() {
@@ -105,7 +123,14 @@ func run(argv []string, errw io.Writer) int {
 	tracePath := fs.String("trace", "", "write a Perfetto-loadable Chrome trace JSON here")
 	metricsPath := fs.String("metrics", "", "write the flat metrics JSON here")
 	workers := fs.Int("workers", 1, "cluster executor parallelism: 1 = sequential, n>1 = deterministic window-parallel execution")
+	ckptEvery := fs.Int64("checkpoint-every", 0, "epoch-barrier checkpoint cadence in cycles for the recovery-ladder experiments (0 = off: replays restart from cycle 0)")
+	ckptSave := fs.String("checkpoint-save", "", "run the canonical ring workload with checkpointing and write its last snapshot to this file (skips -exp)")
+	restoreFrom := fs.String("restore-from", "", "decode the snapshot file, restore it into the canonical ring workload, and finish the run (skips -exp)")
 	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *ckptEvery < 0 {
+		fmt.Fprintf(errw, "-checkpoint-every must be >= 0, got %d\n", *ckptEvery)
 		return 2
 	}
 
@@ -113,9 +138,11 @@ func run(argv []string, errw io.Writer) int {
 	// experiments. Restored afterwards so in-process callers (tests) see
 	// the default again.
 	workersN = *workers
+	checkpointEveryN = *ckptEvery
 	prevWorkers := rtime.SetDefaultWorkers(*workers)
 	defer func() {
 		workersN = 1
+		checkpointEveryN = 0
 		rtime.SetDefaultWorkers(prevWorkers)
 	}()
 
@@ -129,7 +156,26 @@ func run(argv []string, errw io.Writer) int {
 		defer obs.Set(nil)
 	}
 
-	code := runExperiments(*exp, errw)
+	// The snapshot round-trip modes replace the experiment sweep: save
+	// and restore compose in one invocation (save, then restore), so
+	// `tspsim -checkpoint-save f -restore-from f` is a full round trip.
+	code := 0
+	if *ckptSave != "" || *restoreFrom != "" {
+		if *ckptSave != "" {
+			if err := saveCheckpoint(*ckptSave); err != nil {
+				fmt.Fprintf(errw, "checkpoint-save: %v\n", err)
+				return 1
+			}
+		}
+		if *restoreFrom != "" {
+			if err := restoreFromFile(*restoreFrom); err != nil {
+				fmt.Fprintf(errw, "restore-from: %v\n", err)
+				return 1
+			}
+		}
+	} else {
+		code = runExperiments(*exp, errw)
+	}
 	if code != 0 {
 		return code
 	}
@@ -585,9 +631,10 @@ func ladderDemo() error {
 			cl.SetWorkers(workersN)
 			return cl, nil
 		},
-		MaxReplays:   4,
-		MaxFailovers: 2,
-		Seed:         7,
+		MaxReplays:      4,
+		MaxFailovers:    2,
+		Seed:            7,
+		CheckpointEvery: checkpointEveryN,
 	}
 	res, err := ladder.Run()
 	if err != nil {
@@ -595,6 +642,10 @@ func ladderDemo() error {
 	}
 	fmt.Printf("  ladder: %d attempts, %d replays (link repaired + re-characterized), %d failover\n",
 		res.Attempts, res.Replays, res.Failovers)
+	if res.Resumes > 0 {
+		fmt.Printf("  checkpointing (cadence %d): %d of those replays resumed from barriers %v instead of cycle 0\n",
+			checkpointEveryN, res.Resumes, res.ResumedFrom)
+	}
 	fmt.Printf("  repaired links: %v; failed nodes: %v → remapped onto spare node %d's chips\n",
 		res.RepairedLinks, res.FailedNodes, sys.NumNodes()-1)
 	fmt.Printf("  final attempt finished at run-local cycle %d (wall cycle %d, %.2f µs of recovery re-basing)\n",
@@ -628,6 +679,257 @@ func availabilityDemo() error {
 			100*p.AvailableFrac, p.P99US, 100*p.DegradedFrac)
 	}
 	fmt.Println("replays cost a stall; post-spare failovers shed capacity — availability is spent on recovery long before hardware runs out")
+	return nil
+}
+
+// checkpointExp quantifies what epoch-barrier checkpointing buys the
+// recovery ladder: the same link-flap scenario replays once from cycle 0
+// and once per cadence from the last clean barrier, so the re-executed
+// work shrinks to the mid-epoch remainder while the final state stays
+// byte-identical. A second table feeds the same shape into the
+// serving-availability model.
+func checkpointExp() error {
+	fmt.Println("epoch checkpointing — resume the recovery ladder from the last good barrier")
+	sys, err := topo.New(topo.Config{Nodes: 3})
+	if err != nil {
+		return err
+	}
+	var flapLink topo.LinkID = -1
+	for _, lid := range sys.Out(0) {
+		if sys.Link(lid).To == 1 {
+			flapLink = lid
+			break
+		}
+	}
+	plan := &faultplan.Plan{Events: []faultplan.Event{
+		{Cycle: 1000, Until: 2000, Kind: faultplan.LinkFlap, Link: flapLink},
+	}}
+	compiled, err := plan.Compile(sys)
+	if err != nil {
+		return err
+	}
+	// One ladder run at the given cadence, under a scoped recorder so the
+	// checkpoint counters belong to this run alone.
+	runLadder := func(cadence int64) (*rtime.LadderResult, int64, int64, error) {
+		alloc, err := rtime.NewAllocation(sys, 2*topo.TSPsPerNode)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		ladder := &rtime.Ladder{
+			Sys:     sys,
+			Alloc:   alloc,
+			Plan:    compiled,
+			Monitor: faultplan.NewMonitor(4, 650),
+			Build: func(a *rtime.Allocation) (*rtime.Cluster, error) {
+				progs, err := rtime.RingAllReducePrograms(sys, 7, 0)
+				if err != nil {
+					return nil, err
+				}
+				placed := make([]*isa.Program, sys.NumTSPs())
+				for d := 0; d < a.Devices(); d++ {
+					placed[a.TSPOf(d)] = progs[a.TSPOf(d)]
+				}
+				cl, err := rtime.New(sys, placed)
+				if err != nil {
+					return nil, err
+				}
+				cl.SetWorkers(workersN)
+				return cl, nil
+			},
+			MaxReplays:      4,
+			MaxFailovers:    2,
+			Seed:            7,
+			CheckpointEvery: cadence,
+		}
+		prev := obs.Get()
+		r := obs.New()
+		obs.Set(r)
+		res, err := ladder.Run()
+		obs.Set(prev)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		st := r.State()
+		return res, st.Counters["checkpoint.captures"], st.Counters["checkpoint.bytes"], nil
+	}
+
+	base, _, _, err := runLadder(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: link flap cycles 1000-2000 on a 16-chip ring all-reduce; %d replay needed\n", base.Replays)
+	fmt.Printf("%9s %9s %10s %13s %9s %7s\n",
+		"cadence", "captures", "ckpt KiB", "resumed-from", "replayed", "saved")
+	fmt.Printf("%9s %9d %10s %13s %9d %7s\n", "off", 0, "-", "cycle 0", base.Finish, "-")
+	cadences := []int64{route.HopCycles, 2 * route.HopCycles, 4 * route.HopCycles, 8 * route.HopCycles}
+	if checkpointEveryN > 0 {
+		cadences = append(cadences, checkpointEveryN)
+	}
+	for _, cadence := range cadences {
+		res, captures, ckptBytes, err := runLadder(cadence)
+		if err != nil {
+			return err
+		}
+		if res.Finish != base.Finish {
+			return fmt.Errorf("checkpoint: resumed finish %d != cycle-0 finish %d", res.Finish, base.Finish)
+		}
+		if res.Resumes == 0 {
+			fmt.Printf("%9d %9d %10.1f %13s %9d %7s\n",
+				cadence, captures, float64(ckptBytes)/1024, "cycle 0", res.Finish, "-")
+			continue
+		}
+		from := res.ResumedFrom[0]
+		fmt.Printf("%9d %9d %10.1f %13d %9d %7d\n",
+			cadence, captures, float64(ckptBytes)/1024, from, res.Finish-from, from)
+	}
+	fmt.Println("finish cycle and final state are byte-identical on every row; only the re-executed work changes")
+
+	fmt.Println("\nmodeled serving availability — replay stall = restore cost + mid-epoch remainder")
+	cfg := serve.Config{
+		ServiceUS:         100,
+		PipelineDepth:     4,
+		ArrivalRatePerSec: 5000,
+		Requests:          20_000,
+		Seed:              21,
+	}
+	mtbfs := []float64{1e-6, 1e-5, 1e-4}
+	fmt.Printf("%12s", "cadence(µs)")
+	for _, m := range mtbfs {
+		fmt.Printf("  avail@MTBF %.0e", m)
+	}
+	fmt.Println()
+	rows := []workloads.Checkpointing{
+		{},
+		{CadenceUS: 8000, RestoreUS: 500},
+		{CadenceUS: 2000, RestoreUS: 500},
+		{CadenceUS: 500, RestoreUS: 500},
+	}
+	for _, ck := range rows {
+		pts, err := workloads.AvailabilityVsMTBFCheckpointed(cfg, mtbfs, 1, 0.7, 10_000, 5, ck)
+		if err != nil {
+			return err
+		}
+		label := "off"
+		if ck.CadenceUS > 0 {
+			label = fmt.Sprintf("%.0f", ck.CadenceUS)
+		}
+		fmt.Printf("%12s", label)
+		for _, p := range pts {
+			fmt.Printf("  %15.4f%%", 100*p.AvailableFrac)
+		}
+		fmt.Println()
+	}
+	fmt.Println("tighter cadences shorten every replay stall; failovers are untouched (the remap invalidates snapshots)")
+	return nil
+}
+
+// checkpointRing builds the canonical workload behind -checkpoint-save and
+// -restore-from: the par experiment's 16-chip ring all-reduce, seeded so
+// the reduced sums are checkable after a restore.
+func checkpointRing() (*rtime.Cluster, *topo.System, error) {
+	sys, err := topo.New(topo.Config{Nodes: 2})
+	if err != nil {
+		return nil, nil, err
+	}
+	progs, err := rtime.RingAllReducePrograms(sys, 7, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	cl, err := rtime.New(sys, progs)
+	if err != nil {
+		return nil, nil, err
+	}
+	cl.SetWorkers(workersN)
+	for c := 0; c < sys.NumTSPs(); c++ {
+		v := tsp.VectorOf([]float32{float32(c + 1), float32(c) * 0.5})
+		cl.Chip(c).Streams[rtime.RingCur] = v
+		cl.Chip(c).Streams[rtime.RingAcc] = v
+	}
+	return cl, sys, nil
+}
+
+// saveCheckpoint runs the canonical ring workload with checkpointing
+// armed and writes the last barrier's snapshot blob to path.
+func saveCheckpoint(path string) error {
+	cl, _, err := checkpointRing()
+	if err != nil {
+		return err
+	}
+	cadence := checkpointEveryN
+	if cadence == 0 {
+		cadence = 2 * route.HopCycles
+	}
+	cl.SetCheckpointCadence(cadence)
+	finish, err := cl.Run()
+	if err != nil {
+		return err
+	}
+	stored := cl.Checkpoints()
+	if len(stored) == 0 {
+		return fmt.Errorf("no barrier fired before finish cycle %d at cadence %d", finish, cadence)
+	}
+	last := stored[len(stored)-1]
+	if err := os.WriteFile(path, last.Blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("ring all-reduce ran to cycle %d at cadence %d: %d barriers captured\n",
+		finish, cadence, len(stored))
+	fmt.Printf("wrote the cycle-%d snapshot (%d bytes) to %s\n", last.Cycle, len(last.Blob), path)
+	return nil
+}
+
+// restoreFromFile decodes a snapshot written by -checkpoint-save,
+// re-emplaces it into a fresh cluster, finishes the run, and checks the
+// result byte-for-byte against a straight run — the CLI face of the
+// restore-equivalence property the runtime tests prove exhaustively. A
+// damaged or mismatched file is reported and rejected, never restored.
+func restoreFromFile(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	snap, err := checkpoint.Decode(blob)
+	if err != nil {
+		return fmt.Errorf("%s: %v (the ladder discards damaged snapshots and replays from cycle 0)", path, err)
+	}
+	fmt.Printf("%s decodes clean: barrier cycle %d, cadence %d, %d chips, %d link models, %d MBEs outstanding, %d bytes\n",
+		path, snap.CaptureCycle, snap.Cadence, len(snap.Chips), len(snap.Links), snap.MBEs, len(blob))
+	cadence := snap.Cadence
+	if cadence <= 0 {
+		cadence = 2 * route.HopCycles
+	}
+	ref, _, err := checkpointRing()
+	if err != nil {
+		return err
+	}
+	ref.SetCheckpointCadence(cadence)
+	refFinish, err := ref.Run()
+	if err != nil {
+		return err
+	}
+	cl, sys, err := checkpointRing()
+	if err != nil {
+		return err
+	}
+	cl.SetCheckpointCadence(cadence)
+	if err := cl.RestoreSnapshot(snap); err != nil {
+		return fmt.Errorf("snapshot does not fit the canonical ring workload: %v", err)
+	}
+	finish, err := cl.Run()
+	if err != nil {
+		return err
+	}
+	if finish != refFinish {
+		return fmt.Errorf("restored run finished at cycle %d, straight run at %d", finish, refFinish)
+	}
+	for c := 0; c < sys.NumTSPs(); c++ {
+		if cl.Chip(c).Streams != ref.Chip(c).Streams {
+			return fmt.Errorf("chip %d state diverged after restore", c)
+		}
+	}
+	fmt.Printf("restored at barrier %d, ran to finish cycle %d: %d cycles replayed, %d skipped\n",
+		snap.CaptureCycle, finish, finish-snap.CaptureCycle, snap.CaptureCycle)
+	fmt.Println("final state byte-identical to the straight run")
 	return nil
 }
 

@@ -320,6 +320,40 @@ func Receive(f Frame) (Frame, int, bool) {
 // Corrupt reports whether the frame carries a detected-uncorrectable error.
 func (f Frame) Corrupt() bool { return f.corrupt }
 
+// LinkState is a point-in-time copy of one link's mutable state: the
+// error process, the per-link manufacturing variation, the monitor-visible
+// health, the post-repair deskew margin, and the jitter/error RNG cursor.
+// The physical configuration (length, media) is construction-time and not
+// captured: a restore targets a link built from the same topology.
+type LinkState struct {
+	BitErrorRate  float64
+	MeanShift     float64
+	Health        Health
+	AlignedMargin int
+	RNG           uint64
+}
+
+// State captures the link's mutable state for a checkpoint.
+func (l *Link) State() LinkState {
+	return LinkState{
+		BitErrorRate:  l.cfg.BitErrorRate,
+		MeanShift:     l.meanShift,
+		Health:        l.health,
+		AlignedMargin: l.alignedMargin,
+		RNG:           l.rng.State(),
+	}
+}
+
+// SetState restores a captured state. The health transition is silent —
+// restoring a Degraded snapshot must not recount the original flap.
+func (l *Link) SetState(s LinkState) {
+	l.cfg.BitErrorRate = s.BitErrorRate
+	l.meanShift = s.MeanShift
+	l.health = s.Health
+	l.alignedMargin = s.AlignedMargin
+	l.rng.SetState(s.RNG)
+}
+
 func (l *Link) String() string {
 	return fmt.Sprintf("c2c{%.2fm %s, min %d cyc, aligned %d cyc}",
 		l.cfg.Length, l.cfg.Media, l.MinLatencyCycles(), l.AlignedLatencyCycles())

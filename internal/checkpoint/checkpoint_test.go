@@ -1,0 +1,172 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/c2c"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/topo"
+	"repro/internal/tsp"
+)
+
+// testSnapshot builds a snapshot that exercises every section of the
+// format: populated chip state, queued envelopes, link models, MBE
+// records, the repaired set, and a full obs registry.
+func testSnapshot() *Snapshot {
+	var chip tsp.ChipState
+	for i := range chip.Streams[0] {
+		chip.Streams[0][i] = byte(i * 3)
+	}
+	chip.Streams[63][0] = 0xAA
+	chip.Weights[0][0] = 1.5
+	chip.Weights[159][3] = -2.25
+	chip.Units[0] = tsp.UnitState{PC: 3, Cursor: 990, Parked: true, Busy: 7}
+	chip.Units[1] = tsp.UnitState{PC: 12, Cursor: 1300, Halted: true}
+	chip.Mem.CorrectedSBEs = 4
+	var vs mem.VectorState
+	vs.Linear = 17
+	for w := range vs.Words {
+		vs.Words[w].Data = uint64(w) * 0x0101010101010101
+		vs.Words[w].Check = byte(w)
+	}
+	chip.Mem.Vectors = []mem.VectorState{vs}
+
+	var env Envelope
+	env.Arrival = 650
+	for i := range env.V {
+		env.V[i] = byte(255 - i%256)
+	}
+
+	return &Snapshot{
+		CaptureCycle:  1300,
+		BaseWall:      6719,
+		Cadence:       650,
+		BaseBER:       2e-5,
+		HasRNG:        true,
+		RNGState:      0xDEADBEEFCAFEF00D,
+		Corrected:     11,
+		FirstMBECycle: -1,
+		Chips:         []tsp.ChipState{chip},
+		Mailboxes:     [][][]Envelope{{{env}, {}}},
+		Links: []LinkEntry{{ID: 2, State: c2c.LinkState{
+			BitErrorRate: 3e-4, MeanShift: 0.02, Health: c2c.Degraded,
+			AlignedMargin: 9, RNG: 42,
+		}}},
+		LinkMBEs: []LinkMBE{{ID: 2, Count: 1, FirstCycle: 777}},
+		Repaired: []topo.LinkID{2},
+		Obs: &obs.State{
+			Counters: map[string]int64{"checkpoint.captures": 2, "fec.corrected": 11},
+			Gauges:   map[string]int64{"checkpoint.last_capture_cycle": 1300},
+			Hists: map[string]obs.HistState{
+				"runtime.par.window_occupancy": {Origin: 0, Width: 1, Underflow: 0, Overflow: 1, Counts: []int64{1, 2, 3}},
+			},
+			Events: []obs.EventState{
+				{Name: "checkpoint.capture", Ph: 'i', Pid: 2, Tid: 4, TS: 0.65},
+				{Name: "runtime.par.window", Ph: 'X', Pid: 2, Tid: 1, TS: 0, Dur: 0.65},
+			},
+			Procs:   map[int]string{2: "fabric"},
+			Threads: map[[2]int]string{{2, 4}: "checkpoints"},
+		},
+	}
+}
+
+// TestCheckpointRoundTrip: Decode(Encode(s)) reproduces the snapshot exactly,
+// section by section.
+func TestCheckpointRoundTrip(t *testing.T) {
+	s := testSnapshot()
+	got, err := Decode(Encode(s))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+// TestCheckpointRoundTripNilObs: a snapshot captured without observability keeps
+// Obs nil through the round trip.
+func TestCheckpointRoundTripNilObs(t *testing.T) {
+	s := testSnapshot()
+	s.Obs = nil
+	got, err := Decode(Encode(s))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Obs != nil {
+		t.Errorf("Obs should stay nil, got %+v", got.Obs)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Error("round trip mismatch with nil Obs")
+	}
+}
+
+// TestCheckpointByteStability: encoding the same state twice yields the same byte
+// string — maps are sorted, nothing depends on iteration order. This is
+// the property that lets the equivalence tests compare blobs directly.
+func TestCheckpointByteStability(t *testing.T) {
+	a := Encode(testSnapshot())
+	b := Encode(testSnapshot())
+	if !bytes.Equal(a, b) {
+		t.Error("two encodings of identical state differ")
+	}
+	// Re-encoding a decoded snapshot is also stable.
+	s, err := Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, Encode(s)) {
+		t.Error("decode→encode is not the identity on blobs")
+	}
+}
+
+// TestCheckpointCorruptionDetected: flipping any single byte of a valid blob must
+// make Decode fail with ErrCorrupt — never panic, never succeed. Magic,
+// version, and length corruption are caught structurally; everything in
+// the payload is caught by the CRC.
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	blob := Encode(testSnapshot())
+	for i := 0; i < len(blob); i++ {
+		blob[i] ^= 0xFF
+		s, err := Decode(blob)
+		blob[i] ^= 0xFF
+		if err == nil {
+			t.Fatalf("flip at byte %d: decode succeeded (%+v)", i, s)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d: error does not wrap ErrCorrupt: %v", i, err)
+		}
+	}
+}
+
+// TestCheckpointTruncationDetected: every proper prefix fails with ErrCorrupt.
+func TestCheckpointTruncationDetected(t *testing.T) {
+	blob := Encode(testSnapshot())
+	for _, n := range []int{0, 4, len(magic), len(magic) + 4, len(magic) + 12, len(blob) / 2, len(blob) - 1} {
+		if _, err := Decode(blob[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncation to %d bytes: want ErrCorrupt, got %v", n, err)
+		}
+	}
+}
+
+// TestCheckpointUnknownVersionRejected: a future version number is unusable, not
+// misparsed.
+func TestCheckpointUnknownVersionRejected(t *testing.T) {
+	blob := append([]byte(nil), Encode(testSnapshot())...)
+	blob[len(magic)] = Version + 1
+	if _, err := Decode(blob); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("want ErrCorrupt for unknown version, got %v", err)
+	}
+}
+
+// TestCheckpointAssembleMatchesEncode: the two-step capture path (EncodeCluster,
+// then Assemble with the obs state) produces the same blob as Encode.
+func TestCheckpointAssembleMatchesEncode(t *testing.T) {
+	s := testSnapshot()
+	if !bytes.Equal(Encode(s), Assemble(EncodeCluster(s), s.Obs)) {
+		t.Error("Assemble(EncodeCluster(s), s.Obs) != Encode(s)")
+	}
+}

@@ -75,7 +75,8 @@ type Event struct {
 	// Cycle is the wall-clock cycle the fault begins.
 	Cycle int64
 	// Until is the wall-clock cycle a transient fault clears; zero means
-	// permanent. Ignored for NodeDeath and StuckChip (always permanent).
+	// permanent. NodeDeath and StuckChip are always permanent, so a
+	// non-zero Until on them fails validation.
 	Until int64
 	Kind  Kind
 	// Link addresses LinkDown / LinkFlap / BERExcursion events.
@@ -135,6 +136,9 @@ func (p *Plan) Validate(sys *topo.System) error {
 		if e.Cycle < 0 {
 			return fmt.Errorf("faultplan: event %d (%v): negative cycle", i, e)
 		}
+		if e.Until < 0 {
+			return fmt.Errorf("faultplan: event %d (%v): negative until", i, e)
+		}
 		switch e.Kind {
 		case LinkDown, LinkFlap, BERExcursion:
 			if int(e.Link) < 0 || int(e.Link) >= len(sys.Links()) {
@@ -146,16 +150,22 @@ func (p *Plan) Validate(sys *topo.System) error {
 			if e.Kind == LinkFlap && e.Until == 0 {
 				return fmt.Errorf("faultplan: event %d (%v): a flap is transient; set Until", i, e)
 			}
-			if e.Kind == BERExcursion && (e.BER <= 0 || e.BER >= 1) {
+			if e.Kind == BERExcursion && (math.IsNaN(e.BER) || math.IsInf(e.BER, 0) || e.BER <= 0 || e.BER >= 1) {
 				return fmt.Errorf("faultplan: event %d (%v): BER out of range", i, e)
 			}
 		case NodeDeath:
 			if int(e.Node) < 0 || int(e.Node) >= sys.NumNodes() {
 				return fmt.Errorf("faultplan: event %d (%v): node out of range", i, e)
 			}
+			if e.Until != 0 {
+				return fmt.Errorf("faultplan: event %d (%v): node death is permanent; Until must be 0", i, e)
+			}
 		case StuckChip:
 			if int(e.Chip) < 0 || int(e.Chip) >= sys.NumTSPs() {
 				return fmt.Errorf("faultplan: event %d (%v): chip out of range", i, e)
+			}
+			if e.Until != 0 {
+				return fmt.Errorf("faultplan: event %d (%v): a stuck chip is permanent; Until must be 0", i, e)
 			}
 		default:
 			return fmt.Errorf("faultplan: event %d: unknown kind %d", i, e.Kind)

@@ -1,6 +1,7 @@
 package faultplan
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -58,20 +59,42 @@ func TestFaultPlanCompileQueries(t *testing.T) {
 
 func TestFaultPlanValidateRejects(t *testing.T) {
 	sys := sys3(t)
-	bad := []Event{
-		{Cycle: -1, Kind: LinkDown, Link: 0},
-		{Cycle: 10, Kind: LinkDown, Link: topo.LinkID(len(sys.Links()))},
-		{Cycle: 10, Until: 10, Kind: LinkDown, Link: 0},
-		{Cycle: 10, Kind: LinkFlap, Link: 0}, // flap needs Until
-		{Cycle: 10, Until: 20, Kind: BERExcursion, Link: 0, BER: 0},
-		{Cycle: 10, Kind: NodeDeath, Node: 3},
-		{Cycle: 10, Kind: StuckChip, Chip: 24},
+	bad := []struct {
+		name string
+		e    Event
+	}{
+		{"negative cycle", Event{Cycle: -1, Kind: LinkDown, Link: 0}},
+		{"negative until", Event{Cycle: 10, Until: -5, Kind: LinkDown, Link: 0}},
+		{"link out of range", Event{Cycle: 10, Kind: LinkDown, Link: topo.LinkID(len(sys.Links()))}},
+		{"negative link", Event{Cycle: 10, Kind: LinkDown, Link: -1}},
+		{"clears before start", Event{Cycle: 10, Until: 10, Kind: LinkDown, Link: 0}},
+		{"flap without until", Event{Cycle: 10, Kind: LinkFlap, Link: 0}},
+		{"zero BER", Event{Cycle: 10, Until: 20, Kind: BERExcursion, Link: 0, BER: 0}},
+		{"BER of one", Event{Cycle: 10, Until: 20, Kind: BERExcursion, Link: 0, BER: 1}},
+		{"NaN BER", Event{Cycle: 10, Until: 20, Kind: BERExcursion, Link: 0, BER: math.NaN()}},
+		{"+Inf BER", Event{Cycle: 10, Until: 20, Kind: BERExcursion, Link: 0, BER: math.Inf(1)}},
+		{"-Inf BER", Event{Cycle: 10, Until: 20, Kind: BERExcursion, Link: 0, BER: math.Inf(-1)}},
+		{"node out of range", Event{Cycle: 10, Kind: NodeDeath, Node: 3}},
+		{"node death with until", Event{Cycle: 10, Until: 20, Kind: NodeDeath, Node: 1}},
+		{"chip out of range", Event{Cycle: 10, Kind: StuckChip, Chip: 24}},
+		{"stuck chip with until", Event{Cycle: 10, Until: 20, Kind: StuckChip, Chip: 3}},
+		{"unknown kind", Event{Cycle: 10, Kind: Kind(99)}},
 	}
-	for i, e := range bad {
-		p := &Plan{Events: []Event{e}}
+	for _, tc := range bad {
+		p := &Plan{Events: []Event{tc.e}}
 		if err := p.Validate(sys); err == nil {
-			t.Errorf("case %d (%v): expected error", i, e)
+			t.Errorf("%s (%v): expected error", tc.name, tc.e)
 		}
+	}
+	good := &Plan{Events: []Event{
+		{Cycle: 0, Kind: LinkDown, Link: 0},
+		{Cycle: 10, Until: 20, Kind: LinkFlap, Link: 1},
+		{Cycle: 10, Until: 20, Kind: BERExcursion, Link: 2, BER: 1e-6},
+		{Cycle: 10, Kind: NodeDeath, Node: 2},
+		{Cycle: 10, Kind: StuckChip, Chip: 3},
+	}}
+	if err := good.Validate(sys); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
 	}
 }
 

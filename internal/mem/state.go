@@ -1,0 +1,52 @@
+// SRAM state capture and restore for checkpointing.
+//
+// A snapshot carries the raw SECDED words of every resident vector, not
+// their decoded payloads: reading through Read would scrub corrected
+// single-bit errors and bump the error tallies, so the restored memory
+// would diverge from the original on the very next access. Vectors are
+// emitted in ascending linear-index order so the captured form is
+// deterministic regardless of map iteration order.
+package mem
+
+import (
+	"sort"
+
+	"repro/internal/ecc"
+)
+
+// VectorState is one resident vector's raw ECC words.
+type VectorState struct {
+	Linear int
+	Words  [VectorBytes / 8]ecc.Word72
+}
+
+// State is a point-in-time copy of one chip's SRAM.
+type State struct {
+	CorrectedSBEs int64
+	DetectedMBEs  int64
+	Vectors       []VectorState
+}
+
+// State captures the memory's resident vectors and error tallies.
+func (m *SRAM) State() State {
+	s := State{
+		CorrectedSBEs: m.CorrectedSBEs,
+		DetectedMBEs:  m.DetectedMBEs,
+		Vectors:       make([]VectorState, 0, len(m.vecs)),
+	}
+	for lin, v := range m.vecs {
+		s.Vectors = append(s.Vectors, VectorState{Linear: lin, Words: v.words})
+	}
+	sort.Slice(s.Vectors, func(i, j int) bool { return s.Vectors[i].Linear < s.Vectors[j].Linear })
+	return s
+}
+
+// SetState replaces the memory's contents with a captured state.
+func (m *SRAM) SetState(s State) {
+	m.CorrectedSBEs = s.CorrectedSBEs
+	m.DetectedMBEs = s.DetectedMBEs
+	m.vecs = make(map[int]*storedVector, len(s.Vectors))
+	for _, vs := range s.Vectors {
+		m.vecs[vs.Linear] = &storedVector{words: vs.Words}
+	}
+}

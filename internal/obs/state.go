@@ -1,0 +1,165 @@
+// Recorder state capture and restore for checkpointing.
+//
+// A checkpoint's headline invariant — restore-then-run-to-end is
+// byte-identical to the straight run — extends to the observability dumps,
+// so a snapshot must carry the recorder's whole registry: counter and
+// gauge values, histogram bin contents, the trace-event multiset, and the
+// process/thread name tables. Events are captured in export order (the
+// same total order WriteTrace sorts by), which makes the captured form
+// independent of the append interleaving the worker goroutines produced.
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// HistState is one histogram's captured shape and contents.
+type HistState struct {
+	Origin    float64
+	Width     float64
+	Underflow int64
+	Overflow  int64
+	Counts    []int64
+}
+
+// EventState is one trace event in exportable form.
+type EventState struct {
+	Name string
+	Ph   byte
+	Pid  int
+	Tid  int
+	TS   float64
+	Dur  float64
+}
+
+// State is a point-in-time copy of a recorder's registry and trace sink.
+type State struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Hists    map[string]HistState
+	Events   []EventState
+	Procs    map[int]string
+	Threads  map[[2]int]string
+}
+
+// sortEvents orders events by the WriteTrace export comparator. The
+// comparator covers every field, so ties are identical events and any
+// stable order of them is the same order.
+func sortEvents(ev []EventState) {
+	sort.SliceStable(ev, func(i, j int) bool {
+		a, b := ev[i], ev[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if a.Ph != b.Ph {
+			return a.Ph < b.Ph
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Dur < b.Dur
+	})
+}
+
+// State captures the recorder's full registry and trace sink. Returns nil
+// on a nil recorder (observability off — nothing to restore).
+func (r *Recorder) State() *State {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	s := &State{
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]int64, len(r.gauges)),
+		Hists:    make(map[string]HistState, len(r.hists)),
+		Events:   make([]EventState, 0, len(r.events)),
+		Procs:    make(map[int]string, len(r.procs)),
+		Threads:  make(map[[2]int]string, len(r.threads)),
+	}
+	for k, c := range r.counters {
+		s.Counters[k] = c.v.Load()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.v.Load()
+	}
+	for k, h := range r.hists {
+		sh := h.h
+		hs := HistState{
+			Origin:    sh.BinStart(0),
+			Width:     sh.BinStart(1) - sh.BinStart(0),
+			Underflow: sh.Underflow(),
+			Overflow:  sh.Overflow(),
+			Counts:    make([]int64, sh.Bins()),
+		}
+		for i := range hs.Counts {
+			hs.Counts[i] = sh.Count(i)
+		}
+		s.Hists[k] = hs
+	}
+	for _, e := range r.events {
+		s.Events = append(s.Events, EventState{
+			Name: e.name, Ph: e.ph, Pid: e.pid, Tid: e.tid, TS: e.ts, Dur: e.dur,
+		})
+	}
+	for pid, name := range r.procs {
+		s.Procs[pid] = name
+	}
+	for k, name := range r.threads {
+		s.Threads[k] = name
+	}
+	r.mu.Unlock()
+	sortEvents(s.Events)
+	return s
+}
+
+// LoadState replaces the recorder's entire contents with a captured
+// state. Call it on a fresh recorder before any component resolves metric
+// handles: handles resolved earlier keep pointing at the replaced
+// registry entries. A nil receiver or nil state is a no-op.
+func (r *Recorder) LoadState(s *State) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]*Counter, len(s.Counters))
+	for k, v := range s.Counters {
+		c := &Counter{}
+		c.v.Store(v)
+		r.counters[k] = c
+	}
+	r.gauges = make(map[string]*Gauge, len(s.Gauges))
+	for k, v := range s.Gauges {
+		g := &Gauge{}
+		g.v.Store(v)
+		r.gauges[k] = g
+	}
+	r.hists = make(map[string]*Histogram, len(s.Hists))
+	for k, hs := range s.Hists {
+		sh := stats.NewHistogram(hs.Origin, hs.Width, len(hs.Counts))
+		sh.SetState(hs.Underflow, hs.Overflow, hs.Counts)
+		r.hists[k] = &Histogram{h: sh}
+	}
+	r.events = make([]event, 0, len(s.Events))
+	for _, e := range s.Events {
+		r.events = append(r.events, event{
+			name: e.Name, ph: e.Ph, pid: e.Pid, tid: e.Tid, ts: e.TS, dur: e.Dur,
+		})
+	}
+	r.procs = make(map[int]string, len(s.Procs))
+	for pid, name := range s.Procs {
+		r.procs[pid] = name
+	}
+	r.threads = make(map[[2]int]string, len(s.Threads))
+	for k, name := range s.Threads {
+		r.threads[k] = name
+	}
+}

@@ -91,6 +91,13 @@ func (cl *Cluster) runParallel(workers int) (int64, error) {
 	oks := make([]bool, len(cl.chips))
 	for len(h) > 0 {
 		t := h[0].t
+		// Checkpoint at the window barrier once the heap minimum crosses
+		// the cadence line: every send issued before t has been flushed,
+		// no chip is faulted (a fault ends the run at its window's
+		// barrier), so the cluster is a closed restart point.
+		if cl.ckptEvery > 0 && t >= cl.ckptNext {
+			cl.captureCheckpoint(t)
+		}
 		end := t + window
 		// Drain every chip whose next issue falls inside [t, end). By the
 		// NextIssue monotonicity contract a chip left in the heap cannot

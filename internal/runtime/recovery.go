@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/c2c"
+	"repro/internal/checkpoint"
 	"repro/internal/faultplan"
 	"repro/internal/hac"
 	"repro/internal/obs"
@@ -71,6 +72,12 @@ type Ladder struct {
 	// Seed feeds the per-link error models (shared across attempts so
 	// re-characterization margins persist).
 	Seed uint64
+	// CheckpointEvery arms epoch-barrier checkpointing on every attempt:
+	// a failed replay resumes from the newest clean snapshot preceding
+	// its detection cycle instead of re-basing to cycle 0. Zero keeps the
+	// original cycle-0 replay rung. Corrupted or missing snapshots fall
+	// back to cycle 0 automatically (the corrupted-checkpoint rung).
+	CheckpointEvery int64
 }
 
 // LadderResult reports a completed ladder walk.
@@ -85,6 +92,12 @@ type LadderResult struct {
 	Attempts  int
 	Replays   int
 	Failovers int
+	// Resumes counts replays that restarted from a checkpoint instead of
+	// cycle 0; ResumedFrom lists the capture cycles used, in order. A
+	// resumed replay re-executes Finish − ResumedFrom[i] cycles instead
+	// of Finish.
+	Resumes     int
+	ResumedFrom []int64
 	// RepairedLinks were re-characterized and spared; FailedNodes were
 	// retired onto spares.
 	RepairedLinks []topo.LinkID
@@ -114,42 +127,86 @@ func (ld *Ladder) Run() (*LadderResult, error) {
 
 	for gen := 0; ; gen++ {
 		finish, _, err := RunWithReplay(func(attempt int) (*Cluster, error) {
-			if last != nil {
-				// Diagnose the failed attempt at the deterministic horizon
-				// by which every heartbeat verdict has matured.
-				horizon := last.Base() + last.RanTo() + ld.Monitor.DeadlineCycles + 1
-				diag := ld.Monitor.Diagnose(last.HealthReport(horizon, ld.Monitor.IntervalCycles))
-				if nf := ld.escalations(diag, repaired); nf != nil {
-					return nil, nf
-				}
-				for _, lid := range diag.SuspectLinks {
-					if repaired[lid] {
-						continue
-					}
-					phys := last.physLink(ld.Sys.Link(lid))
-					phys.SetHealth(c2c.Degraded)
-					hac.Recharacterize(phys, iters)
-					repaired[lid] = true
-					res.RepairedLinks = append(res.RepairedLinks, lid)
-					rec.Counter("recovery.link_repairs").Inc()
-					rec.InstantCycles(obs.PidFabric, recoveryTid, "recovery.repair", horizon)
-				}
-				base = horizon + RecoveryTurnaroundCycles
-			}
 			cl, err := ld.Build(ld.Alloc)
 			if err != nil {
 				return nil, err
 			}
-			cl.ShareLinkModels(physLinks, physRNG)
-			cl.SetFaultPlan(ld.Plan, base, ld.Seed)
+			if ld.CheckpointEvery > 0 {
+				cl.SetCheckpointCadence(ld.CheckpointEvery)
+			}
+			if last == nil {
+				cl.ShareLinkModels(physLinks, physRNG)
+				cl.SetFaultPlan(ld.Plan, base, ld.Seed)
+				res.Attempts++
+				last = cl
+				return cl, nil
+			}
+			// Diagnose the failed attempt at the deterministic horizon by
+			// which every heartbeat verdict has matured.
+			horizon := last.Base() + last.RanTo() + ld.Monitor.DeadlineCycles + 1
+			diag := ld.Monitor.Diagnose(last.HealthReport(horizon, ld.Monitor.IntervalCycles))
+			if nf := ld.escalations(diag, repaired); nf != nil {
+				return nil, nf
+			}
+			// The resume rung: restore the newest clean snapshot preceding
+			// the detection cycle. Undecodable snapshots are skipped toward
+			// older ones; no usable snapshot falls through to cycle 0.
+			var snap *checkpoint.Snapshot
+			var prefix []Stored
+			if ld.CheckpointEvery > 0 {
+				snap, prefix = pickSnapshot(last, rec)
+				if snap != nil {
+					if rerr := cl.RestoreSnapshot(snap); rerr != nil {
+						rec.Counter("checkpoint.corrupt_discarded").Inc()
+						snap = nil
+					}
+				}
+			}
+			if snap != nil {
+				// Resuming keeps the original wall base: the restored state
+				// is the wall-clock past replayed exactly, so transient
+				// fault windows recur — harmlessly, because the suspect
+				// link is repaired below before the run starts. The replay
+				// now re-executes Finish − CaptureCycle cycles, not Finish.
+				cl.SetFaultPlan(ld.Plan, snap.BaseWall, ld.Seed)
+				cl.SeedCheckpoints(prefix)
+				physLinks, physRNG = cl.LinkModels()
+				base = snap.BaseWall
+				res.Resumes++
+				res.ResumedFrom = append(res.ResumedFrom, snap.CaptureCycle)
+				rec.Counter("checkpoint.restore_source", obs.L("source", "snapshot")).Inc()
+				rec.SetThreadName(obs.PidFabric, checkpointTid, "checkpoints")
+				rec.InstantCycles(obs.PidFabric, checkpointTid, "checkpoint.restore", snap.CaptureCycle)
+			} else {
+				if ld.CheckpointEvery > 0 {
+					rec.Counter("checkpoint.restore_source", obs.L("source", "cycle0")).Inc()
+				}
+				base = horizon + RecoveryTurnaroundCycles
+				cl.ShareLinkModels(physLinks, physRNG)
+				cl.SetFaultPlan(ld.Plan, base, ld.Seed)
+			}
+			// Repair the diagnosed links on the cluster that runs next. On
+			// the resume path this must follow the restore: the snapshot
+			// predates the fault, so restoring rewound the link models, and
+			// the repair re-applies to the restored objects.
+			for _, lid := range diag.SuspectLinks {
+				if repaired[lid] {
+					continue
+				}
+				phys := cl.physLink(ld.Sys.Link(lid))
+				phys.SetHealth(c2c.Degraded)
+				hac.Recharacterize(phys, iters)
+				repaired[lid] = true
+				res.RepairedLinks = append(res.RepairedLinks, lid)
+				rec.Counter("recovery.link_repairs").Inc()
+				rec.InstantCycles(obs.PidFabric, recoveryTid, "recovery.repair", horizon)
+			}
 			for lid := range repaired {
 				cl.MarkLinkRepaired(lid)
 			}
-			if last != nil {
-				res.Replays++
-				rec.Counter("recovery.replays").Inc()
-				rec.InstantCycles(obs.PidFabric, recoveryTid, "recovery.replay", base)
-			}
+			res.Replays++
+			rec.Counter("recovery.replays").Inc()
+			rec.InstantCycles(obs.PidFabric, recoveryTid, "recovery.replay", base)
 			res.Attempts++
 			last = cl
 			return cl, nil
@@ -173,6 +230,13 @@ func (ld *Ladder) Run() (*LadderResult, error) {
 		res.Failovers++
 		rec.Counter("recovery.failovers").Inc()
 		rec.InstantCycles(obs.PidFabric, recoveryTid, "recovery.failover", nf.detect)
+		// Snapshots captured under the old device→chip mapping are
+		// meaningless after the remap: per-chip state would land on chips
+		// running different programs. The failover rung always rebuilds
+		// from cycle 0.
+		if last != nil {
+			last.SeedCheckpoints(nil)
+		}
 		for _, n := range nf.nodes {
 			if err := ld.Alloc.FailNode(n); err != nil {
 				return res, fmt.Errorf("runtime: failover of node %d failed: %w", n, err)
@@ -183,6 +247,36 @@ func (ld *Ladder) Run() (*LadderResult, error) {
 			return res, err
 		}
 	}
+}
+
+// pickSnapshot selects the newest usable snapshot of the failed attempt:
+// captured at or before the detection cycle (so it predates the fault's
+// first observable effect), decodable (checksum intact), and clean (no
+// uncorrectable frames baked in). Undecodable candidates count toward
+// checkpoint.corrupt_discarded and the walk continues toward older
+// snapshots; exhausting them returns nil — the cycle-0 fallback. The
+// returned prefix is the store up to and including the chosen snapshot,
+// so the resumed cluster's store matches what the straight run would
+// hold at that point.
+func pickSnapshot(last *Cluster, rec *obs.Recorder) (*checkpoint.Snapshot, []Stored) {
+	stored := last.Checkpoints()
+	detect := last.DetectLocal()
+	for i := len(stored) - 1; i >= 0; i-- {
+		st := stored[i]
+		if st.Cycle > detect {
+			continue
+		}
+		snap, err := checkpoint.Decode(st.Blob)
+		if err != nil {
+			rec.Counter("checkpoint.corrupt_discarded").Inc()
+			continue
+		}
+		if snap.MBEs > 0 {
+			continue
+		}
+		return snap, stored[:i+1]
+	}
+	return nil, nil
 }
 
 // escalations turns a diagnosis into the node retirements it demands:

@@ -85,6 +85,15 @@ type Cluster struct {
 	vectors    *obs.Counter
 	underflows *obs.Counter
 	linkVecs   map[topo.LinkID]*obs.Counter
+
+	// Checkpointing (see checkpoint.go): capture every ckptEvery cycles at
+	// window barriers; ckptNext is the next cadence line, ckptFrom the
+	// cycle this cluster was restored at (0 for a fresh run), ckpts the
+	// captured store, oldest first.
+	ckptEvery int64
+	ckptNext  int64
+	ckptFrom  int64
+	ckpts     []Stored
 }
 
 // defaultWorkers is the executor parallelism new clusters start with.
@@ -414,7 +423,11 @@ func (cl *Cluster) runnableHeap() chipHeap {
 // results — finish cycle, chip state, counters, traces — are byte-identical
 // to the sequential run.
 func (cl *Cluster) Run() (int64, error) {
-	if cl.workers > 1 {
+	// An armed checkpoint cadence forces the window executor even at one
+	// worker: captures happen only at window barriers, so what a snapshot
+	// contains is a function of the cadence and the programs — never of
+	// the worker count.
+	if cl.workers > 1 || cl.ckptEvery > 0 {
 		return cl.RunParallel(cl.workers)
 	}
 	return cl.RunSequential()
@@ -422,7 +435,9 @@ func (cl *Cluster) Run() (int64, error) {
 
 // RunSequential is the single-threaded executor: a min-heap of chips keyed
 // by next-issue cycle, popping the earliest (ties toward the lowest chip
-// index) and executing all of that chip's instructions at that cycle.
+// index) and executing all of that chip's instructions at that cycle. It
+// never captures checkpoints — sequential pops have no window barriers to
+// align to; use Run with a cadence armed.
 func (cl *Cluster) RunSequential() (int64, error) {
 	finish, err := cl.runSequential()
 	cl.noteRunEnd(finish)

@@ -41,6 +41,12 @@ type Config struct {
 	Requests int
 	// Seed drives the arrival process.
 	Seed uint64
+	// MaxQueueDepth bounds the host admission queue: a request that
+	// arrives while MaxQueueDepth admitted requests are still waiting for
+	// their pipeline slot is shed — counted, excluded from the latency
+	// percentiles, never queued. Zero means unbounded admission (the
+	// original behavior).
+	MaxQueueDepth int
 }
 
 // Result summarizes a serving run.
@@ -77,6 +83,9 @@ type DegradedResult struct {
 	DegradedRequests int
 	// AvailableFrac is 1 − (total stall time / wall time).
 	AvailableFrac float64
+	// ShedRequests were rejected by the bounded admission queue; they
+	// appear in no percentile, because they were never served.
+	ShedRequests int
 }
 
 // Run simulates the scenario with no incidents.
@@ -90,7 +99,7 @@ func Run(cfg Config) (Result, error) {
 // recovery ladder, so the replay tail and the degraded-capacity era are
 // visible in the same latency percentiles the healthy run reports.
 func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
-	if cfg.ServiceUS <= 0 || cfg.PipelineDepth < 1 || cfg.Requests < 1 || cfg.ArrivalRatePerSec <= 0 {
+	if cfg.ServiceUS <= 0 || cfg.PipelineDepth < 1 || cfg.Requests < 1 || cfg.ArrivalRatePerSec <= 0 || cfg.MaxQueueDepth < 0 {
 		return DegradedResult{}, fmt.Errorf("serve: invalid config %+v", cfg)
 	}
 	incs := append([]Incident(nil), incidents...)
@@ -104,7 +113,7 @@ func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 	meanGapUS := 1e6 / cfg.ArrivalRatePerSec
 
 	rec := obs.Get()
-	var reqCount, queuedCount, replayedCount, degradedCount *obs.Counter
+	var reqCount, queuedCount, replayedCount, degradedCount, shedCount *obs.Counter
 	var latHist *obs.Histogram
 	if rec != nil {
 		rec.SetProcessName(obs.PidHost, "host")
@@ -117,6 +126,9 @@ func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 		if len(incs) > 0 {
 			replayedCount = rec.Counter("serve.replayed_requests")
 			degradedCount = rec.Counter("serve.degraded_requests")
+		}
+		if cfg.MaxQueueDepth > 0 {
+			shedCount = rec.Counter("serve.shed_requests")
 		}
 	}
 
@@ -133,6 +145,11 @@ func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 	stallEnd := 0.0
 	stallTotal := 0.0
 	scale := 1.0
+	// qStarts[qHead:] are the start times of admitted requests still
+	// waiting for their pipeline slot — the admission queue the bound
+	// applies to.
+	var qStarts []float64
+	qHead := 0
 	res := DegradedResult{AvailableFrac: 1}
 	for i := 0; i < cfg.Requests; i++ {
 		// Exponential inter-arrival via inverse transform.
@@ -162,10 +179,32 @@ func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 				rec.SpanUS(obs.PidHost, serveTid, "serve.incident", inc.StartUS, inc.ReplayUS)
 			}
 		}
+		// Requests admitted earlier whose slot has opened by now have left
+		// the admission queue; if the bound is armed and the queue is
+		// full, this arrival is shed — the arrival process itself is
+		// untouched, so the admitted stream stays deterministic.
+		for qHead < len(qStarts) && qStarts[qHead] <= arrival {
+			qHead++
+		}
+		if qHead > 1024 {
+			qStarts = append(qStarts[:0], qStarts[qHead:]...)
+			qHead = 0
+		}
+		if cfg.MaxQueueDepth > 0 && len(qStarts)-qHead >= cfg.MaxQueueDepth {
+			res.ShedRequests++
+			if rec != nil {
+				reqCount.Inc()
+				shedCount.Inc()
+			}
+			continue
+		}
 		serviceUS := cfg.ServiceUS * scale
 		start := arrival
 		if slotFree > start {
 			start = slotFree
+		}
+		if start > arrival {
+			qStarts = append(qStarts, start)
 		}
 		slotFree = start + serviceUS
 		busy += serviceUS
@@ -211,9 +250,12 @@ func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 			res.AvailableFrac = 0
 		}
 	}
+	// Shed requests were never served: percentiles and throughput cover
+	// the admitted stream only.
+	admitted := cfg.Requests - res.ShedRequests
 	res.Result = Result{
 		Requests:    cfg.Requests,
-		Throughput:  float64(cfg.Requests) / (lastDone / 1e6),
+		Throughput:  float64(admitted) / (lastDone / 1e6),
 		P50US:       pct(50),
 		P99US:       pct(99),
 		MaxUS:       lat[len(lat)-1],

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// An overloaded bounded queue must shed, the shed stream must be excluded
+// from the percentiles (the tail stays bounded by the queue depth), and
+// the accounting must close: every request is either served or shed.
+func TestBoundedQueueShedsUnderOverload(t *testing.T) {
+	cfg := Config{
+		ServiceUS:         100,
+		PipelineDepth:     4,
+		ArrivalRatePerSec: 15_000, // 150% load: the queue grows without bound
+		Requests:          3000,
+		Seed:              5,
+	}
+	unbounded, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxQueueDepth = 8
+	bounded, err := RunDegraded(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.ShedRequests == 0 {
+		t.Fatal("150% load against a depth-8 queue shed nothing")
+	}
+	if bounded.ShedRequests >= cfg.Requests {
+		t.Fatalf("shed all %d requests", cfg.Requests)
+	}
+	// A request admitted behind a full-but-draining queue waits at most
+	// MaxQueueDepth service periods for its slot, so the admitted tail is
+	// bounded — unlike the unbounded run's, which grows with the backlog.
+	maxAdmittedUS := float64(cfg.MaxQueueDepth+1+cfg.PipelineDepth) * cfg.ServiceUS
+	if bounded.MaxUS > maxAdmittedUS {
+		t.Errorf("admitted max %.0fµs exceeds the depth bound %.0fµs", bounded.MaxUS, maxAdmittedUS)
+	}
+	if bounded.P99US >= unbounded.P99US {
+		t.Errorf("bounded p99 %.0fµs not below unbounded %.0fµs", bounded.P99US, unbounded.P99US)
+	}
+	if bounded.Throughput >= unbounded.Throughput {
+		t.Errorf("shedding should reduce completed throughput: %.0f vs %.0f", bounded.Throughput, unbounded.Throughput)
+	}
+}
+
+// At low load the bound never binds: the result is exactly the unbounded
+// run's.
+func TestBoundedQueueIdleAtLowLoad(t *testing.T) {
+	cfg := Config{ServiceUS: 100, PipelineDepth: 4, ArrivalRatePerSec: 5000, Requests: 1000, Seed: 9}
+	unbounded, err := RunDegraded(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxQueueDepth = 64
+	bounded, err := RunDegraded(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.ShedRequests != 0 {
+		t.Fatalf("50%% load shed %d requests", bounded.ShedRequests)
+	}
+	bounded.ShedRequests = unbounded.ShedRequests
+	if bounded != unbounded {
+		t.Fatalf("idle bound changed the result: %+v vs %+v", bounded, unbounded)
+	}
+}
+
+// A recovery stall fills the bounded queue: requests arriving during the
+// stall are shed once the queue is full, the serve.shed_requests counter
+// records them, and the run stays deterministic.
+func TestBoundedQueueShedsDuringStall(t *testing.T) {
+	cfg := Config{
+		ServiceUS:         100,
+		PipelineDepth:     4,
+		ArrivalRatePerSec: 5000, // 50% load: no shedding without the stall
+		Requests:          2000,
+		Seed:              9,
+		MaxQueueDepth:     8,
+	}
+	incs := []Incident{{StartUS: 100_000, ReplayUS: 20_000, CapacityFrac: 1}}
+	prev := obs.Get()
+	r := obs.New()
+	obs.Set(r)
+	defer obs.Set(prev)
+	res, err := RunDegraded(cfg, incs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShedRequests == 0 {
+		t.Fatal("a 20ms stall against a depth-8 queue shed nothing")
+	}
+	var mb strings.Builder
+	if err := r.WriteMetrics(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mb.String(), `"serve.shed_requests":`) {
+		t.Error("metrics dump missing serve.shed_requests")
+	}
+	again, err := RunDegraded(cfg, incs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != again {
+		t.Fatalf("nondeterministic: %+v vs %+v", res, again)
+	}
+}
+
+func TestBoundedQueueValidation(t *testing.T) {
+	cfg := Config{ServiceUS: 100, PipelineDepth: 4, ArrivalRatePerSec: 8000, Requests: 10, Seed: 1, MaxQueueDepth: -1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative MaxQueueDepth should be rejected")
+	}
+}

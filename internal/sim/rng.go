@@ -22,6 +22,15 @@ func (r *RNG) Fork(id uint64) *RNG {
 	return &RNG{state: mixed}
 }
 
+// State returns the stream's cursor. Together with SetState it lets a
+// checkpoint capture and restore a stream mid-run: a restored RNG produces
+// exactly the draws the original would have produced from this point.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState rewinds (or advances) the stream to a previously captured
+// cursor.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 uniform random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

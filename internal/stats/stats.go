@@ -103,6 +103,22 @@ func (h *Histogram) Add(x float64) {
 	}
 }
 
+// SetState overwrites the histogram's contents wholesale — the restore
+// half of a checkpoint. counts must match the histogram's bin count; the
+// total is recomputed from the parts.
+func (h *Histogram) SetState(underflow, overflow int64, counts []int64) {
+	if len(counts) != len(h.counts) {
+		panic(fmt.Sprintf("stats: SetState with %d counts for %d bins", len(counts), len(h.counts)))
+	}
+	copy(h.counts, counts)
+	h.underflow = underflow
+	h.overflow = overflow
+	h.total = underflow + overflow
+	for _, c := range counts {
+		h.total += c
+	}
+}
+
 // Total returns the number of samples added.
 func (h *Histogram) Total() int64 { return h.total }
 

@@ -31,6 +31,37 @@ type AvailabilityPoint struct {
 	DegradedFrac  float64
 }
 
+// Checkpointing describes the epoch-barrier checkpointing the runtime's
+// recovery ladder uses to shorten replay stalls. The zero value means
+// checkpointing is off: every replay re-executes from cycle 0.
+type Checkpointing struct {
+	// CadenceUS is the capture interval in host time. A fault strikes on
+	// average mid-epoch, so the work a resumed replay re-executes is the
+	// time since the last barrier.
+	CadenceUS float64
+	// RestoreUS is the fixed cost of decoding and re-emplacing a
+	// snapshot before the resumed run starts.
+	RestoreUS float64
+}
+
+func (c Checkpointing) enabled() bool { return c.CadenceUS > 0 }
+
+// replayStall is the serving-visible stall of one repairable fault at
+// host time at: the full cycle-0 replay without checkpointing, else the
+// restore cost plus the re-executed epoch remainder — never more than
+// the cycle-0 replay it replaces (the ladder falls back rather than
+// resume at a loss).
+func (c Checkpointing) replayStall(at, replayStallUS float64) float64 {
+	if !c.enabled() {
+		return replayStallUS
+	}
+	stall := c.RestoreUS + math.Mod(at, c.CadenceUS)
+	if stall > replayStallUS {
+		return replayStallUS
+	}
+	return stall
+}
+
 // AvailabilityVsMTBF sweeps mean-time-between-faults levels over one
 // serving scenario. For each level it draws a deterministic fault
 // schedule (exponential gaps, seeded per level), classifies each fault —
@@ -40,11 +71,24 @@ type AvailabilityPoint struct {
 // removes 1/(spares+1) of capacity. Replay stalls cost replayStallUS;
 // failovers cost an additional rebuild of the same length.
 func AvailabilityVsMTBF(cfg serve.Config, mtbfHours []float64, spares int, replayFrac, replayStallUS float64, seed uint64) ([]AvailabilityPoint, error) {
+	return AvailabilityVsMTBFCheckpointed(cfg, mtbfHours, spares, replayFrac, replayStallUS, seed, Checkpointing{})
+}
+
+// AvailabilityVsMTBFCheckpointed is AvailabilityVsMTBF with the ladder's
+// checkpointing modeled: repairable faults stall for the restore cost
+// plus the mid-epoch remainder instead of the full replay. Failovers are
+// unchanged — a snapshot captured under the old device→chip mapping is
+// useless after the remap, so the rebuilt run starts from cycle 0 either
+// way.
+func AvailabilityVsMTBFCheckpointed(cfg serve.Config, mtbfHours []float64, spares int, replayFrac, replayStallUS float64, seed uint64, ckpt Checkpointing) ([]AvailabilityPoint, error) {
 	if cfg.Requests < 1 || cfg.ArrivalRatePerSec <= 0 {
 		return nil, fmt.Errorf("workloads: invalid serve config %+v", cfg)
 	}
 	if spares < 0 || replayFrac < 0 || replayFrac > 1 || replayStallUS <= 0 {
 		return nil, fmt.Errorf("workloads: invalid fault parameters")
+	}
+	if ckpt.CadenceUS < 0 || ckpt.RestoreUS < 0 || (ckpt.enabled() && ckpt.RestoreUS > replayStallUS) {
+		return nil, fmt.Errorf("workloads: invalid checkpointing %+v", ckpt)
 	}
 	// The run's horizon: expected arrival span plus drain slack.
 	horizonUS := float64(cfg.Requests) / cfg.ArrivalRatePerSec * 1e6 * 1.1
@@ -72,10 +116,13 @@ func AvailabilityVsMTBF(cfg serve.Config, mtbfHours []float64, spares int, repla
 			pt.Faults++
 			inc := serve.Incident{StartUS: at, ReplayUS: replayStallUS, CapacityFrac: capacity}
 			if r.Float64() < replayFrac {
-				// Repairable: re-characterize and replay; capacity holds.
+				// Repairable: re-characterize and resume from the last
+				// barrier (or replay from cycle 0 without checkpointing).
 				pt.Replays++
+				inc.ReplayUS = ckpt.replayStall(at, replayStallUS)
 			} else {
-				// Node loss: replay plus rebuild on the remapped TSPs.
+				// Node loss: replay plus rebuild on the remapped TSPs. No
+				// checkpoint shortcut — the remap invalidates snapshots.
 				pt.Failovers++
 				inc.ReplayUS += replayStallUS
 				if pt.SparesLeft > 0 {

@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/baseline"
@@ -304,7 +305,7 @@ func buildBenchCluster(b *testing.B, pipeline bool, nodes, workers int) *rtime.C
 	for c := 0; c < sys.NumTSPs(); c++ {
 		v := tsp.VectorOf([]float32{float32(c + 1), 0.5 * float32(c), -float32(c % 3), 2})
 		if pipeline {
-			cl.Chip(c).Streams[rtime.PipeBias] = v
+			cl.Chip(c).SetStream(rtime.PipeBias, v)
 			if c%topo.TSPsPerNode == 0 {
 				for w := 0; w < waves; w++ {
 					in := tsp.VectorOf([]float32{float32(c + w + 1)})
@@ -312,8 +313,8 @@ func buildBenchCluster(b *testing.B, pipeline bool, nodes, workers int) *rtime.C
 				}
 			}
 		} else {
-			cl.Chip(c).Streams[rtime.RingCur] = v
-			cl.Chip(c).Streams[rtime.RingAcc] = v
+			cl.Chip(c).SetStream(rtime.RingCur, v)
+			cl.Chip(c).SetStream(rtime.RingAcc, v)
 		}
 	}
 	return cl
@@ -328,6 +329,10 @@ func benchClusterRun(b *testing.B, workers int) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				cl := buildBenchCluster(b, bc.pipeline, bc.nodes, workers)
+				// Collect the construction garbage off the clock so the
+				// timed region measures the executor, not GC assists
+				// triggered by the rebuild churn.
+				runtime.GC()
 				b.StartTimer()
 				f, err := cl.Run()
 				if err != nil {

@@ -45,6 +45,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	goruntime "runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/c2c"
@@ -107,6 +109,7 @@ var experiments = []struct {
 	{"serve", "inference serving under load", serveExp},
 	{"par", "window-parallel executor equivalence and speedup", parExp},
 	{"checkpoint", "epoch checkpointing: resume cost vs cycle-0 replay", checkpointExp},
+	{"hotpath", "executor hot-loop throughput (sim-cycles per wall-second)", hotpath},
 }
 
 func main() {
@@ -126,8 +129,37 @@ func run(argv []string, errw io.Writer) int {
 	ckptEvery := fs.Int64("checkpoint-every", 0, "epoch-barrier checkpoint cadence in cycles for the recovery-ladder experiments (0 = off: replays restart from cycle 0)")
 	ckptSave := fs.String("checkpoint-save", "", "run the canonical ring workload with checkpointing and write its last snapshot to this file (skips -exp)")
 	restoreFrom := fs.String("restore-from", "", "decode the snapshot file, restore it into the canonical ring workload, and finish the run (skips -exp)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run here (e.g. with -exp hotpath)")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit here")
 	if err := fs.Parse(argv); err != nil {
 		return 2
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(errw, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(errw, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(errw, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			goruntime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(errw, "memprofile: %v\n", err)
+			}
+		}()
 	}
 	if *ckptEvery < 0 {
 		fmt.Fprintf(errw, "-checkpoint-every must be >= 0, got %d\n", *ckptEvery)
@@ -842,8 +874,8 @@ func checkpointRing() (*rtime.Cluster, *topo.System, error) {
 	cl.SetWorkers(workersN)
 	for c := 0; c < sys.NumTSPs(); c++ {
 		v := tsp.VectorOf([]float32{float32(c + 1), float32(c) * 0.5})
-		cl.Chip(c).Streams[rtime.RingCur] = v
-		cl.Chip(c).Streams[rtime.RingAcc] = v
+		cl.Chip(c).SetStream(rtime.RingCur, v)
+		cl.Chip(c).SetStream(rtime.RingAcc, v)
 	}
 	return cl, sys, nil
 }
@@ -923,7 +955,7 @@ func restoreFromFile(path string) error {
 		return fmt.Errorf("restored run finished at cycle %d, straight run at %d", finish, refFinish)
 	}
 	for c := 0; c < sys.NumTSPs(); c++ {
-		if cl.Chip(c).Streams != ref.Chip(c).Streams {
+		if cl.Chip(c).Streams() != ref.Chip(c).Streams() {
 			return fmt.Errorf("chip %d state diverged after restore", c)
 		}
 	}
@@ -1035,8 +1067,8 @@ func parExp() error {
 		cl.SetWorkers(workers)
 		for c := 0; c < sys.NumTSPs(); c++ {
 			v := tsp.VectorOf([]float32{float32(c + 1), float32(c) * 0.5})
-			cl.Chip(c).Streams[rtime.RingCur] = v
-			cl.Chip(c).Streams[rtime.RingAcc] = v
+			cl.Chip(c).SetStream(rtime.RingCur, v)
+			cl.Chip(c).SetStream(rtime.RingAcc, v)
 		}
 		return cl, nil
 	}
@@ -1063,7 +1095,7 @@ func parExp() error {
 	}
 	identical := seqFinish == parFinish
 	for c := 0; c < sys.NumTSPs() && identical; c++ {
-		identical = seq.Chip(c).Streams == par.Chip(c).Streams &&
+		identical = seq.Chip(c).Streams() == par.Chip(c).Streams() &&
 			seq.Chip(c).FinishCycle() == par.Chip(c).FinishCycle()
 	}
 	// After 7 rounds of the 8-chip ring, RingAcc is the node sum.
@@ -1075,7 +1107,7 @@ func parExp() error {
 	}
 	reduced := true
 	for c := 0; c < sys.NumTSPs() && reduced; c++ {
-		acc := par.Chip(c).Streams[rtime.RingAcc].Floats()
+		acc := par.Chip(c).StreamFloats(rtime.RingAcc)
 		reduced = acc[0] == sums[c/topo.TSPsPerNode]
 	}
 	fmt.Printf("workload: %d-chip ring all-reduce, %d rounds, %d matmuls/round\n",

@@ -103,7 +103,7 @@ vadd s4 s5 s6
 	act := []float32{1, 2, 3, 4}
 	w := func(r, c int) float32 { return float32((r + 1) * (c + 1)) }
 	loadRow := func(chip int, streamVals []float32, stream int) {
-		cl.Chip(chip).Streams[stream] = tsp.VectorOf(streamVals)
+		cl.Chip(chip).SetStream(stream, tsp.VectorOf(streamVals))
 	}
 	// Chip 0 holds rows 0,1 and activation lanes 0,1.
 	loadRow(0, rowOf(w, 0), 1)
@@ -118,7 +118,7 @@ vadd s4 s5 s6
 	if err != nil {
 		log.Fatal(err)
 	}
-	got := cl.Chip(0).Streams[6].Floats()
+	got := cl.Chip(0).StreamFloats(6)
 	ok := true
 	for c := 0; c < 8; c++ {
 		var want float64

@@ -69,7 +69,7 @@ func TestColdBootToInference(t *testing.T) {
 		t.Fatalf("execution faulted: %v", err)
 	}
 	for _, pl := range placements {
-		got := cl.Chip(pl.DstChip).Streams[pl.DstStream]
+		got := cl.Chip(pl.DstChip).Stream(pl.DstStream)
 		if got != tsp.Vector(mark(pl.Transfer, pl.Index)) {
 			t.Fatalf("transfer %d vector %d corrupted", pl.Transfer, pl.Index)
 		}

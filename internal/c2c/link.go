@@ -306,6 +306,50 @@ func (l *Link) Receive(f Frame) (Frame, int, bool) {
 	return out, corrected, mbe
 }
 
+// TransferVector runs one payload through the full wire pipeline —
+// Transmit's FEC encode and bit-error process, then Receive's decode —
+// in place, without materializing Frame values. It consumes the link's
+// RNG stream bit-for-bit identically to Receive(Transmit(f)) and moves
+// the same observability counters, so swapping a caller between the two
+// forms changes nothing observable; it exists because the frame-value
+// plumbing cost three 328-byte copies per hop on the runtime's delivery
+// path. On a detected-uncorrectable error the payload carries the
+// best-effort decode and must be treated as poisoned, exactly as
+// Receive's frame would.
+func (l *Link) TransferVector(payload *[VectorBytes]byte) (corrected int, mbe bool) {
+	fec := ecc.EncodeFrame(payload[:])
+	l.framesTx.Inc()
+	if ber := l.cfg.BitErrorRate; ber > 0 {
+		bits := VectorBytes * 8
+		// Same exact per-bit process as Transmit: identical RNG draws in
+		// identical order.
+		for b := 0; b < bits; b++ {
+			if l.rng.Bernoulli(ber) {
+				fec.InjectBitError(b)
+				l.bitErrsInjected.Inc()
+			}
+		}
+	}
+	for i := range fec.Words {
+		data, res := ecc.Decode(fec.Words[i])
+		switch res {
+		case ecc.CorrectedSBE:
+			corrected++
+		case ecc.DetectedMBE:
+			mbe = true
+		}
+		for b := 0; b < 8; b++ {
+			payload[i*8+b] = byte(data >> uint(8*b))
+		}
+	}
+	l.framesRx.Inc()
+	l.sbesCorrected.Add(int64(corrected))
+	if mbe {
+		l.mbesDetected.Inc()
+	}
+	return corrected, mbe
+}
+
 // Receive runs FEC decode. It returns the delivered frame, the number of
 // corrected single-bit errors, and whether an uncorrectable error was
 // detected (in which case the runtime must replay — the fabric never

@@ -98,6 +98,10 @@ const (
 	numOps
 )
 
+// NumOps is the number of defined opcodes — the size for any table indexed
+// by Op (e.g. pre-resolved trace names).
+const NumOps = int(numOps)
+
 var opNames = [...]string{
 	Nop:           "nop",
 	Sync:          "sync",

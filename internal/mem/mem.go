@@ -71,8 +71,32 @@ func (a Addr) String() string {
 }
 
 // storedVector is one SECDED-protected 320-byte vector.
+//
+// The ECC words are materialized lazily: a freshly written vector is
+// "clean" (words == nil) and its raw bytes are authoritative — encoding
+// and immediately decoding 40 SECDED words per access bought nothing,
+// since decoding a just-encoded word can never correct or detect
+// anything. The words are materialized only when something can actually
+// perturb them (FlipBit) or must observe them (State capture), and a
+// perturbed vector stays word-authoritative until a fully clean read
+// promotes it back. Every observable — read data, error tallies, scrub
+// behavior, captured state bytes — is identical to the eager encoding.
 type storedVector struct {
-	words [VectorBytes / 8]ecc.Word72
+	raw   [VectorBytes]byte
+	words *[VectorBytes / 8]ecc.Word72
+}
+
+// encode materializes the vector's ECC words from its raw bytes.
+func (v *storedVector) encode() {
+	var words [VectorBytes / 8]ecc.Word72
+	for w := range words {
+		var d uint64
+		for b := 0; b < 8; b++ {
+			d |= uint64(v.raw[w*8+b]) << uint(8*b)
+		}
+		words[w] = ecc.Encode(d)
+	}
+	v.words = &words
 }
 
 // SRAM is one chip's memory. Vectors are allocated lazily: a full chip is
@@ -89,7 +113,8 @@ type SRAM struct {
 // NewSRAM returns an empty (all-zero) chip memory.
 func NewSRAM() *SRAM { return &SRAM{vecs: make(map[int]*storedVector)} }
 
-// Write stores a 320-byte vector at addr.
+// Write stores a 320-byte vector at addr. The vector becomes clean: raw
+// bytes authoritative, ECC words deferred until something can disturb them.
 func (m *SRAM) Write(addr Addr, data []byte) {
 	if !addr.Valid() {
 		panic(fmt.Sprintf("mem: write to invalid address %v", addr))
@@ -97,28 +122,51 @@ func (m *SRAM) Write(addr Addr, data []byte) {
 	if len(data) != VectorBytes {
 		panic(fmt.Sprintf("mem: vector must be %d bytes, got %d", VectorBytes, len(data)))
 	}
-	v := &storedVector{}
-	for w := range v.words {
-		var d uint64
-		for b := 0; b < 8; b++ {
-			d |= uint64(data[w*8+b]) << uint(8*b)
-		}
-		v.words[w] = ecc.Encode(d)
+	lin := addr.Linear()
+	v, present := m.vecs[lin]
+	if !present {
+		v = &storedVector{}
+		m.vecs[lin] = v
 	}
-	m.vecs[addr.Linear()] = v
+	copy(v.raw[:], data)
+	v.words = nil
 }
 
 // Read fetches the vector at addr. ok is false when a detected-uncorrectable
 // error poisons the data; single-bit errors are corrected transparently.
 func (m *SRAM) Read(addr Addr) (data []byte, ok bool) {
+	data = make([]byte, VectorBytes)
+	ok = m.ReadInto(addr, data)
+	return data, ok
+}
+
+// ReadInto fetches the vector at addr into dst (which must be 320 bytes)
+// without allocating. ok is false when a detected-uncorrectable error
+// poisons the access; dst is then left untouched so the caller's register
+// state stays coherent while the fault abandons the run. Single-bit errors
+// are corrected transparently (and scrubbed in place).
+func (m *SRAM) ReadInto(addr Addr, dst []byte) (ok bool) {
 	if !addr.Valid() {
 		panic(fmt.Sprintf("mem: read from invalid address %v", addr))
 	}
-	data = make([]byte, VectorBytes)
+	if len(dst) != VectorBytes {
+		panic(fmt.Sprintf("mem: vector must be %d bytes, got %d", VectorBytes, len(dst)))
+	}
 	v, present := m.vecs[addr.Linear()]
 	if !present {
-		return data, true
+		for i := range dst {
+			dst[i] = 0
+		}
+		return true
 	}
+	if v.words == nil {
+		// Clean vector: decoding freshly encoded words can never correct
+		// or detect anything, so the raw bytes are the decode result and
+		// no tally moves — identical observables, none of the work.
+		copy(dst, v.raw[:])
+		return true
+	}
+	var data [VectorBytes]byte
 	ok = true
 	for w := range v.words {
 		d, res := ecc.Decode(v.words[w])
@@ -135,7 +183,16 @@ func (m *SRAM) Read(addr Addr) (data []byte, ok bool) {
 			data[w*8+b] = byte(d >> uint(8*b))
 		}
 	}
-	return data, ok
+	if !ok {
+		return false
+	}
+	// Fully clean decode (after any scrubbing): the words are now exactly
+	// Encode(data) for every word, so the vector can drop back to the
+	// cheap clean representation.
+	v.raw = data
+	v.words = nil
+	copy(dst, data[:])
+	return true
 }
 
 // FlipBit injects a single-bit upset into the stored vector at addr; bit
@@ -147,8 +204,11 @@ func (m *SRAM) FlipBit(addr Addr, bit int) {
 	}
 	v, present := m.vecs[addr.Linear()]
 	if !present {
-		m.Write(addr, make([]byte, VectorBytes))
-		v = m.vecs[addr.Linear()]
+		v = &storedVector{}
+		m.vecs[addr.Linear()] = v
+	}
+	if v.words == nil {
+		v.encode()
 	}
 	v.words[bit/64] = ecc.FlipDataBit(v.words[bit/64], bit%64)
 }

@@ -35,7 +35,18 @@ func (m *SRAM) State() State {
 		Vectors:       make([]VectorState, 0, len(m.vecs)),
 	}
 	for lin, v := range m.vecs {
-		s.Vectors = append(s.Vectors, VectorState{Linear: lin, Words: v.words})
+		vs := VectorState{Linear: lin}
+		if v.words != nil {
+			vs.Words = *v.words
+		} else {
+			// Clean vector: encode the raw bytes on demand. Encode is a
+			// pure function, so the captured words are bit-identical to
+			// what the eager path would have stored at write time.
+			tmp := storedVector{raw: v.raw}
+			tmp.encode()
+			vs.Words = *tmp.words
+		}
+		s.Vectors = append(s.Vectors, vs)
 	}
 	sort.Slice(s.Vectors, func(i, j int) bool { return s.Vectors[i].Linear < s.Vectors[j].Linear })
 	return s
@@ -47,6 +58,10 @@ func (m *SRAM) SetState(s State) {
 	m.DetectedMBEs = s.DetectedMBEs
 	m.vecs = make(map[int]*storedVector, len(s.Vectors))
 	for _, vs := range s.Vectors {
-		m.vecs[vs.Linear] = &storedVector{words: vs.Words}
+		// Restored vectors start word-authoritative (the snapshot may
+		// carry latent upsets); the first fully clean read promotes them
+		// back to the cheap raw form with identical observables.
+		words := vs.Words
+		m.vecs[vs.Linear] = &storedVector{words: &words}
 	}
 }

@@ -39,8 +39,8 @@
 package obs
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -69,8 +69,27 @@ type Label struct {
 // L builds a string label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
+// smallInts interns the decimal strings for common small values so the
+// label constructors on hot instrumentation paths (per-chip, per-unit,
+// per-link) never allocate or run fmt.
+var smallInts = func() [1024]string {
+	var s [1024]string
+	for i := range s {
+		s[i] = strconv.Itoa(i)
+	}
+	return s
+}()
+
+// Itoa formats an int, returning an interned string for small values.
+func Itoa(v int) string {
+	if v >= 0 && v < len(smallInts) {
+		return smallInts[v]
+	}
+	return strconv.Itoa(v)
+}
+
 // Li builds an integer-valued label.
-func Li(key string, value int) Label { return Label{Key: key, Value: fmt.Sprintf("%d", value)} }
+func Li(key string, value int) Label { return Label{Key: key, Value: Itoa(value)} }
 
 // key canonicalizes a metric name with its labels: "name{k1=v1,k2=v2}"
 // with label keys sorted, so the same logical metric always maps to the

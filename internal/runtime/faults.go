@@ -92,18 +92,21 @@ func (cl *Cluster) physLink(l topo.Link) *c2c.Link {
 }
 
 // noteLinkMBE records an uncorrectable frame for the health report. cycle
-// is run-local; deliveries occur in ascending cycle order in both
-// executors, so the first note is the earliest.
+// is run-local. The "first" records keep the minimum cycle rather than
+// the first note: the batched sequential executor may deliver one chip's
+// lookahead-window sends before another chip's earlier-cycle sends, so
+// note order is not globally cycle-sorted — but the minimum is the same
+// earliest MBE every executor observes.
 func (cl *Cluster) noteLinkMBE(l topo.LinkID, cycle int64) {
 	if cl.linkMBEs == nil {
 		cl.linkMBEs = map[topo.LinkID]int64{}
 		cl.linkFirstMBE = map[topo.LinkID]int64{}
 	}
-	if cl.linkMBEs[l] == 0 {
+	if cl.linkMBEs[l] == 0 || cycle < cl.linkFirstMBE[l] {
 		cl.linkFirstMBE[l] = cycle
 	}
 	cl.linkMBEs[l]++
-	if cl.firstMBECycle < 0 {
+	if cl.firstMBECycle < 0 || cycle < cl.firstMBECycle {
 		cl.firstMBECycle = cycle
 	}
 }

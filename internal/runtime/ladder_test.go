@@ -98,8 +98,8 @@ func (sc *ladderScenario) build(a *Allocation) (*Cluster, error) {
 	for d := 0; d < a.Devices(); d++ {
 		v := tsp.VectorOf(contribution(d))
 		chip := cl.Chip(int(a.TSPOf(d)))
-		chip.Streams[RingCur] = v
-		chip.Streams[RingAcc] = v
+		chip.SetStream(RingCur, v)
+		chip.SetStream(RingAcc, v)
 	}
 	return cl, nil
 }
@@ -117,7 +117,7 @@ func (sc *ladderScenario) checkResult(t *testing.T, res *LadderResult) {
 				want[i] += x
 			}
 		}
-		got := res.Cluster.Chip(int(sc.alloc.TSPOf(d))).Streams[RingAcc].Floats()
+		got := res.Cluster.Chip(int(sc.alloc.TSPOf(d))).StreamFloats(RingAcc)
 		for i := range want {
 			if math.Abs(float64(got[i]-want[i])) > 1e-4 {
 				t.Fatalf("device %d lane %d = %f, want %f", d, i, got[i], want[i])
@@ -249,7 +249,7 @@ func TestLadderFaultWorkerInvariance(t *testing.T) {
 		}
 		got.sc.checkResult(t, got.res)
 		for c := 0; c < base.sc.sys.NumTSPs(); c++ {
-			if base.res.Cluster.Chip(c).Streams != got.res.Cluster.Chip(c).Streams {
+			if base.res.Cluster.Chip(c).Streams() != got.res.Cluster.Chip(c).Streams() {
 				t.Errorf("workers=%d: chip %d stream file differs", w, c)
 			}
 		}

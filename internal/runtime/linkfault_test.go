@@ -31,7 +31,7 @@ func buildSendRecv(t *testing.T, vectors int) *Cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl.Chip(0).Streams[1] = tsp.VectorOf([]float32{1, 2, 3})
+	cl.Chip(0).SetStream(1, tsp.VectorOf([]float32{1, 2, 3}))
 	return cl
 }
 
@@ -61,7 +61,7 @@ func TestLinkFECCorrectsSilently(t *testing.T) {
 		t.Fatalf("FEC perturbed timing: %d vs %d", finish, cleanFinish)
 	}
 	// And the data is intact despite the corrected errors.
-	got := cl.Chip(1).Streams[10].Floats()
+	got := cl.Chip(1).StreamFloats(10)
 	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
 		t.Fatalf("payload corrupted after correction: %v", got[:3])
 	}

@@ -225,7 +225,7 @@ func (cl *Cluster) flushPending() {
 	})
 	for _, r := range refs {
 		p := &cl.pend[r.src][r.j]
-		cl.deliver(topo.TSPID(r.src), p.link, p.v, p.cycle)
+		cl.deliver(topo.TSPID(r.src), p.link, &p.v, p.cycle)
 	}
 	for i := range cl.pend {
 		cl.pend[i] = cl.pend[i][:0]

@@ -116,16 +116,16 @@ func TestFunctionalFourStagePipeline(t *testing.T) {
 	// Preload weights and the input activation.
 	for s := 0; s < stages; s++ {
 		for r := 0; r < k; r++ {
-			cl.Chip(s).Streams[1+r] = tsp.VectorOf(w[s][r])
+			cl.Chip(s).SetStream(1+r, tsp.VectorOf(w[s][r]))
 		}
 	}
-	cl.Chip(0).Streams[0] = tsp.VectorOf(x0)
+	cl.Chip(0).SetStream(0, tsp.VectorOf(x0))
 
 	finish, err := cl.Run()
 	if err != nil {
 		t.Fatalf("pipeline faulted: %v", err)
 	}
-	got := cl.Chip(stages - 1).Streams[31].Floats()
+	got := cl.Chip(stages - 1).StreamFloats(31)
 	for c := 0; c < k; c++ {
 		if math.Abs(float64(got[c]-ref[c])) > 1e-4 {
 			t.Fatalf("output[%d] = %f, want %f", c, got[c], ref[c])

@@ -16,6 +16,7 @@ package runtime
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/c2c"
 	"repro/internal/faultplan"
@@ -41,6 +42,14 @@ type Cluster struct {
 	// construction so deliver is O(1) and inconsistent wiring fails at
 	// New, not mid-run.
 	peerIdx []int
+
+	// routes[src][link] is the destination inbound queue for source chip
+	// src's local outbound link index, and routeIDs[src][link] the global
+	// id of that link — the two facts the common (no-fault, no-recorder)
+	// deliver path needs, pre-resolved at construction so each send pays
+	// two slice indexes instead of re-deriving the topology lookups.
+	routes   [][]*linkQueue
+	routeIDs [][]topo.LinkID
 
 	// workers is the executor parallelism captured from the package
 	// default at construction (override with SetWorkers). 1 = sequential.
@@ -127,6 +136,8 @@ type envelope struct {
 // for the life of the run); the consumed prefix is compacted away once it
 // dominates the buffer, so capacity stays proportional to the peak number
 // of simultaneously in-flight vectors, not to the total ever sent.
+// Envelopes hold no pointers, so consumed slots need no clearing — the
+// bytes are simply overwritten when the slot is reused.
 type linkQueue struct {
 	buf  []envelope
 	head int
@@ -138,23 +149,28 @@ func (q *linkQueue) front() *envelope { return &q.buf[q.head] }
 
 func (q *linkQueue) push(e envelope) { q.buf = append(q.buf, e) }
 
-func (q *linkQueue) pop() envelope {
-	e := q.buf[q.head]
-	q.buf[q.head] = envelope{} // drop the payload reference
+// pushSlot appends an envelope with the given arrival and returns its
+// payload slot so the producer can fill the 320 bytes in place — the one
+// per-hop copy (source register → in-flight queue) instead of the 3–4
+// value copies the old Send/deliver/push chain made.
+func (q *linkQueue) pushSlot(arrival int64) *tsp.Vector {
+	q.buf = append(q.buf, envelope{arrival: arrival})
+	return &q.buf[len(q.buf)-1].v
+}
+
+// popInto advances past the front envelope, copying its payload into dst —
+// the one copy on the receive side (queue → destination register).
+func (q *linkQueue) popInto(dst *tsp.Vector) {
+	*dst = q.buf[q.head].v
 	q.head++
 	if q.head == len(q.buf) {
 		q.buf = q.buf[:0]
 		q.head = 0
 	} else if q.head >= 32 && q.head*2 >= len(q.buf) {
 		n := copy(q.buf, q.buf[q.head:])
-		clearTail := q.buf[n:]
-		for i := range clearTail {
-			clearTail[i] = envelope{}
-		}
 		q.buf = q.buf[:n]
 		q.head = 0
 	}
-	return e
 }
 
 // cap reports the backing-array capacity (tested: bounded on long runs).
@@ -167,9 +183,11 @@ type chipC2C struct {
 	id topo.TSPID
 }
 
-func (c *chipC2C) Send(link int, v tsp.Vector, cycle int64) {
+func (c *chipC2C) Send(link int, v *tsp.Vector, cycle int64) {
 	if c.cl.buffering {
-		c.cl.pend[c.id] = append(c.cl.pend[c.id], pendingSend{link: link, cycle: cycle, v: v})
+		// The register may be overwritten before the barrier flushes, so
+		// buffered sends must copy the payload now.
+		c.cl.pend[c.id] = append(c.cl.pend[c.id], pendingSend{link: link, cycle: cycle, v: *v})
 		return
 	}
 	c.cl.deliver(c.id, link, v, cycle)
@@ -181,11 +199,12 @@ func (c *chipC2C) Transmit(link int, cycle int64) {
 		c.cl.pend[c.id] = append(c.cl.pend[c.id], pendingSend{link: link, cycle: cycle})
 		return
 	}
-	c.cl.deliver(c.id, link, tsp.Vector{}, cycle)
+	var zero tsp.Vector
+	c.cl.deliver(c.id, link, &zero, cycle)
 }
 
-func (c *chipC2C) Recv(link int, cycle int64) (tsp.Vector, bool) {
-	return c.cl.take(c.id, link, cycle)
+func (c *chipC2C) Recv(link int, cycle int64, dst *tsp.Vector) bool {
+	return c.cl.take(c.id, link, cycle, dst)
 }
 
 // New builds a cluster executing programs[t] on TSP t. Programs may be nil
@@ -210,7 +229,13 @@ func New(sys *topo.System, programs []*isa.Program) (*Cluster, error) {
 		}
 		chip := tsp.New(t, prog, &chipC2C{cl: cl, id: topo.TSPID(t)})
 		cl.chips = append(cl.chips, chip)
-		cl.posts = append(cl.posts, &mailbox{queues: make([]linkQueue, len(sys.Out(topo.TSPID(t))))})
+		mb := &mailbox{queues: make([]linkQueue, len(sys.Out(topo.TSPID(t))))}
+		for i := range mb.queues {
+			// Seed each queue with room for a handful of in-flight vectors
+			// so steady-state traffic never pays append's growth copies.
+			mb.queues[i].buf = make([]envelope, 0, 8)
+		}
+		cl.posts = append(cl.posts, mb)
 	}
 	// Resolve every link's inbound local index on its destination chip up
 	// front: a miswired topology (a link whose reverse is absent from the
@@ -229,6 +254,20 @@ func New(sys *topo.System, programs []*isa.Program) (*Cluster, error) {
 		}
 		if cl.peerIdx[l.ID] < 0 {
 			panic(fmt.Sprintf("runtime: link %d: reverse link %d missing from chip %d adjacency", l.ID, l.Reverse, l.To))
+		}
+	}
+	// Pre-resolve each chip's outbound routes to destination queue
+	// pointers (stable: the queues slices are fixed-size after this loop).
+	cl.routes = make([][]*linkQueue, sys.NumTSPs())
+	cl.routeIDs = make([][]topo.LinkID, sys.NumTSPs())
+	for t := 0; t < sys.NumTSPs(); t++ {
+		out := sys.Out(topo.TSPID(t))
+		cl.routes[t] = make([]*linkQueue, len(out))
+		cl.routeIDs[t] = make([]topo.LinkID, len(out))
+		for j, lid := range out {
+			l := sys.Link(lid)
+			cl.routes[t][j] = &cl.posts[l.To].queues[cl.peerIdx[lid]]
+			cl.routeIDs[t][j] = lid
 		}
 	}
 	return cl, nil
@@ -261,26 +300,39 @@ func (cl *Cluster) SetBitErrorRate(ber float64, seed uint64) {
 }
 
 // deliver routes a vector from srcChip's local link index onto the peer's
-// inbound queue, arriving one deterministic hop later.
-func (cl *Cluster) deliver(src topo.TSPID, link int, v tsp.Vector, cycle int64) {
-	out := cl.sys.Out(src)
-	if link < 0 || link >= len(out) {
+// inbound queue, arriving one deterministic hop later. The pointee is only
+// borrowed (it may be a live stream register) and is never mutated: the
+// payload is copied into the queue slot first and any fault-plan or FEC
+// corruption is applied to the slot in place.
+func (cl *Cluster) deliver(src topo.TSPID, link int, v *tsp.Vector, cycle int64) {
+	routes := cl.routes[src]
+	if link < 0 || link >= len(routes) {
 		panic(fmt.Sprintf("runtime: chip %d has no link %d", src, link))
 	}
-	l := cl.sys.Link(out[link])
+	if cl.rec == nil && cl.fplan == nil && cl.ber == 0 {
+		// Clean-fabric fast path (the overwhelmingly common case): route
+		// straight to the pre-resolved destination queue. Observably
+		// identical to the full path below with every feature branch off.
+		slot := routes[link].pushSlot(cycle + route.HopCycles)
+		*slot = *v
+		return
+	}
+	l := cl.sys.Link(cl.routeIDs[src][link])
 	if cl.rec != nil {
 		cl.vectors.Inc()
 		lc, ok := cl.linkVecs[l.ID]
 		if !ok {
+			// First delivery on this link: resolve its counter and name
+			// its sender-side track (pid = source chip, tid = TidLinkBase
+			// + local link index) once. Link IDs are directed, so (src,
+			// link) is fixed for a given ID and naming here covers every
+			// later delivery — the hot path pays no Sprintf.
 			lc = cl.rec.Counter("runtime.link_vectors", obs.L("link", fmt.Sprintf("L%04d", l.ID)))
 			cl.linkVecs[l.ID] = lc
+			cl.rec.SetThreadName(int(src), obs.TidLinkBase+link, fmt.Sprintf("link%d", link))
 		}
 		lc.Inc()
-		// The transfer renders on the sender's link track: pid = source
-		// chip, tid = TidLinkBase + local link index.
-		tid := obs.TidLinkBase + link
-		cl.rec.SetThreadName(int(src), tid, fmt.Sprintf("link%d", link))
-		cl.rec.SpanCycles(int(src), tid, "c2c.tx", cycle, route.HopCycles)
+		cl.rec.SpanCycles(int(src), obs.TidLinkBase+link, "c2c.tx", cycle, route.HopCycles)
 	}
 	// Merge any scheduled fault covering this delivery. Plan events are
 	// stamped in wall cycles; this run's cycle 0 sits at cl.fbase.
@@ -294,6 +346,9 @@ func (cl *Cluster) deliver(src topo.TSPID, link int, v tsp.Vector, cycle int64) 
 			ber = e
 		}
 	}
+	// The peer addresses this physical cable by its own local index of
+	// the reverse link, precomputed at construction.
+	slot := routes[link].pushSlot(cycle + route.HopCycles)
 	if down {
 		// Carrier lost: the frame still occupies its deskew slot but
 		// arrives as garbage the FEC flags uncorrectable — timing is
@@ -303,13 +358,14 @@ func (cl *Cluster) deliver(src topo.TSPID, link int, v tsp.Vector, cycle int64) 
 		if cl.rec != nil {
 			cl.rec.InstantCycles(int(src), obs.TidLinkBase+link, "c2c.mbe", cycle)
 		}
-		v = tsp.Vector{}
-	} else if ber > 0 {
+		*slot = tsp.Vector{}
+		return
+	}
+	*slot = *v
+	if ber > 0 {
 		phys := cl.physLink(l)
 		phys.SetBitErrorRate(ber)
-		var frame c2c.Frame
-		frame.Payload = [c2c.VectorBytes]byte(v)
-		rx, corrected, mbe := phys.Receive(phys.Transmit(frame))
+		corrected, mbe := phys.TransferVector((*[c2c.VectorBytes]byte)(slot))
 		cl.Corrected += int64(corrected)
 		if mbe {
 			cl.MBEs++
@@ -318,30 +374,27 @@ func (cl *Cluster) deliver(src topo.TSPID, link int, v tsp.Vector, cycle int64) 
 				cl.rec.InstantCycles(int(src), obs.TidLinkBase+link, "c2c.mbe", cycle)
 			}
 		}
-		v = tsp.Vector(rx.Payload)
 	}
-	// The peer addresses this physical cable by its own local index of
-	// the reverse link, precomputed at construction.
-	mb := cl.posts[l.To]
-	mb.queues[cl.peerIdx[l.ID]].push(envelope{v: v, arrival: cycle + route.HopCycles})
 }
 
 // take pops the oldest vector that has arrived on the link by the given
-// cycle. An out-of-range link index (a program receiving on a link the
-// chip does not have) degrades to an underflow, the same schedule-lied
-// fault a correct link with no data raises.
-func (cl *Cluster) take(dst topo.TSPID, link int, cycle int64) (tsp.Vector, bool) {
+// cycle into dst, leaving dst untouched on underflow. An out-of-range
+// link index (a program receiving on a link the chip does not have)
+// degrades to an underflow, the same schedule-lied fault a correct link
+// with no data raises.
+func (cl *Cluster) take(dst topo.TSPID, link int, cycle int64, dstVec *tsp.Vector) bool {
 	mb := cl.posts[dst]
 	if link < 0 || link >= len(mb.queues) {
 		cl.underflows.Inc()
-		return tsp.Vector{}, false
+		return false
 	}
 	q := &mb.queues[link]
 	if q.len() == 0 || q.front().arrival > cycle {
 		cl.underflows.Inc()
-		return tsp.Vector{}, false
+		return false
 	}
-	return q.pop().v, true
+	q.popInto(dstVec)
+	return true
 }
 
 // chipHeap is a value-typed binary min-heap of runnable chips keyed by
@@ -454,12 +507,33 @@ func (cl *Cluster) runSequential() (int64, error) {
 		if cl.death != nil && e.t >= cl.death[e.idx] {
 			continue
 		}
-		// Execute every instruction this chip issues at cycle e.t. Chips
-		// cannot disturb each other's cursors, and a send launched at e.t
-		// arrives a full hop later, so batching a chip's same-cycle
-		// instructions reproduces the old one-instruction-at-a-time global
-		// order exactly.
-		next, ok := cl.chips[e.idx].StepUntil(e.t + 1)
+		// Batch the popped chip through the same conservative lookahead
+		// the window-parallel executor exploits: with every other chip's
+		// next issue at or after m = h[0].t, all cross-chip data this chip
+		// can legally consume before m + HopCycles is already in its
+		// mailboxes (a vector sent at cycle s is invisible before
+		// s + HopCycles, and every send before m has been delivered).
+		// Chip-local effects commute across chips, per-link delivery order
+		// is each single sender's own cycle order either way, and shared
+		// tallies and trace exports are order-independent, so the result
+		// is byte-identical to the one-cycle-at-a-time pop order — while
+		// paying one heap round-trip per window instead of one per cycle.
+		horizon := e.t + 1
+		if len(h) > 0 {
+			if m := h[0].t + int64(route.HopCycles); m > horizon {
+				horizon = m
+			}
+		} else {
+			// Last runnable chip: nothing can feed it beyond what is
+			// already queued, so it may run out entirely.
+			horizon = math.MaxInt64
+		}
+		if cl.death != nil && cl.death[e.idx] < horizon {
+			// Same clamp as the parallel stepChip: instructions at or
+			// past the scheduled death never execute.
+			horizon = cl.death[e.idx]
+		}
+		next, ok := cl.chips[e.idx].StepUntil(horizon)
 		if f := cl.chips[e.idx].Fault(); f != nil {
 			return cl.chips[e.idx].FinishCycle(), f
 		}

@@ -56,12 +56,12 @@ func TestTwoChipSendRecv(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl.Chip(0).Streams[1] = tsp.VectorOf([]float32{7, 8, 9})
+	cl.Chip(0).SetStream(1, tsp.VectorOf([]float32{7, 8, 9}))
 	finish, err := cl.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := cl.Chip(1).Streams[2].Floats()
+	got := cl.Chip(1).StreamFloats(2)
 	if got[0] != 7 || got[1] != 8 || got[2] != 9 {
 		t.Fatalf("received %v", got[:3])
 	}
@@ -117,11 +117,11 @@ func TestLockstepOrderingAllowsLateSender(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl.Chip(0).Streams[1] = tsp.VectorOf([]float32{5})
+	cl.Chip(0).SetStream(1, tsp.VectorOf([]float32{5}))
 	if _, err := cl.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if cl.Chip(1).Streams[3].Floats()[0] != 5 {
+	if cl.Chip(1).StreamFloats(3)[0] != 5 {
 		t.Fatal("late-scheduled recv missed the data")
 	}
 }
@@ -156,12 +156,12 @@ vadd s4 s3 s5
 		t.Fatal(err)
 	}
 	for src := 1; src <= 3; src++ {
-		cl.Chip(src).Streams[1] = tsp.VectorOf([]float32{float32(src), float32(src * 10)})
+		cl.Chip(src).SetStream(1, tsp.VectorOf([]float32{float32(src), float32(src * 10)}))
 	}
 	if _, err := cl.Run(); err != nil {
 		t.Fatal(err)
 	}
-	sum := cl.Chip(0).Streams[5].Floats()
+	sum := cl.Chip(0).StreamFloats(5)
 	if sum[0] != 6 || sum[1] != 60 {
 		t.Fatalf("distributed sum = %v, want [6 60]", sum[:2])
 	}

@@ -175,5 +175,5 @@ type ChipHandle struct {
 
 // SetStream writes a payload vector into the chip's stream register.
 func (h *ChipHandle) SetStream(stream int, payload [320]byte) {
-	h.cl.chips[h.chip].Streams[stream] = payload
+	h.cl.chips[h.chip].SetStream(stream, payload)
 }

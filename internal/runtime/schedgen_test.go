@@ -50,7 +50,7 @@ func TestScheduleLoweringEndToEnd(t *testing.T) {
 		t.Fatalf("placements = %d, want 6 vectors", len(placements))
 	}
 	for _, pl := range placements {
-		got := cl.Chip(pl.DstChip).Streams[pl.DstStream]
+		got := cl.Chip(pl.DstChip).Stream(pl.DstStream)
 		want := payload(pl.Transfer, pl.Index)
 		if got != tsp.Vector(want) {
 			t.Fatalf("transfer %d vector %d: payload corrupted at chip %d stream %d",
@@ -110,7 +110,7 @@ func TestScheduleLoweringCrossNode(t *testing.T) {
 		t.Fatalf("cross-node schedule faulted: %v", err)
 	}
 	for _, pl := range placements {
-		got := cl.Chip(pl.DstChip).Streams[pl.DstStream].Floats()
+		got := cl.Chip(pl.DstChip).StreamFloats(pl.DstStream)
 		if got[0] != 7 || got[1] != float32(pl.Index) {
 			t.Fatalf("vector %d/%d payload wrong: %v", pl.Transfer, pl.Index, got[:2])
 		}

@@ -37,7 +37,12 @@ func (c *Chip) State() ChipState {
 	if c.fault != nil {
 		panic("tsp: State() on a faulted chip")
 	}
-	s := ChipState{Streams: c.Streams, Weights: c.Weights, Mem: c.Mem.State()}
+	s := ChipState{Weights: c.Weights, Mem: c.Mem.State()}
+	for i := range s.Streams {
+		// Materialize lane-cached registers so the snapshot carries the
+		// architectural bytes — the determinism boundary.
+		s.Streams[i] = *c.streamBytes(i)
+	}
 	for u := range s.Units {
 		s.Units[u] = UnitState{
 			PC:     c.pc[u],
@@ -55,7 +60,11 @@ func (c *Chip) State() ChipState {
 // oracle (SetDeskewDelta), recorder attachment, and C2C binding are
 // construction-time wiring and are left untouched.
 func (c *Chip) SetState(s ChipState) {
-	c.Streams = s.Streams
+	c.streams = s.Streams
+	for i := range c.streams {
+		c.byteOK[i] = true
+		c.laneOK[i] = false
+	}
 	c.Weights = s.Weights
 	c.Mem.SetState(s.Mem)
 	for u := range s.Units {

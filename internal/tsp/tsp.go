@@ -15,6 +15,27 @@
 // numerical transparency and keep the paper's throughput constants in the
 // analytic performance models (internal/workloads), which is where
 // lane-count fidelity matters.
+//
+// # Lane-typed fast path
+//
+// The [320]byte form is the architectural truth at every determinism
+// boundary — SRAM, C2C frames, checkpoints, golden dumps — but it is the
+// wrong shape for the ALUs: re-deriving 80 float32 lanes with per-lane
+// bit fiddling on every operand of every vector instruction dominated the
+// simulator's hot loop. Each stream register therefore carries both
+// representations with per-register validity bits:
+//
+//   - a byte write (Recv, Read, SetStream, SetState) stores bytes and
+//     invalidates the lane cache;
+//   - an ALU write (VADD … MATMUL) stores lanes and invalidates the bytes;
+//   - a byte read (Send, Write, Stream, State) lazily re-encodes lanes,
+//     and a lane read (ALU operand, LoadWeights) lazily decodes bytes.
+//
+// Decode (Float32frombits) and encode (Float32bits) are exact bit casts,
+// and the lazy encode runs the same SetFloats the eager path ran, so every
+// architectural byte observed at a boundary is bit-for-bit what the
+// original per-instruction byte path produced. reference.go retains that
+// original path verbatim as the oracle for the differential tests.
 package tsp
 
 import (
@@ -51,43 +72,72 @@ const (
 // Vector is one 320-byte architectural vector.
 type Vector [VectorBytes]byte
 
+// Lanes is the decoded 80-lane float32 view of a vector — the shape the
+// vector ALUs compute on.
+type Lanes [FloatLanes]float32
+
+// decodeInto decodes the vector's 80 little-endian float32 lanes into out.
+// Four lanes per step: each lane is an independent exact bit cast, so the
+// unroll only trims loop overhead on the simulator's hottest conversion.
+func (v *Vector) decodeInto(out *Lanes) {
+	for i := 0; i+4 <= FloatLanes; i += 4 {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(v[i*4:]))
+		out[i+1] = math.Float32frombits(binary.LittleEndian.Uint32(v[i*4+4:]))
+		out[i+2] = math.Float32frombits(binary.LittleEndian.Uint32(v[i*4+8:]))
+		out[i+3] = math.Float32frombits(binary.LittleEndian.Uint32(v[i*4+12:]))
+	}
+}
+
+// encodeFrom encodes 80 float32 lanes into the vector (the exact inverse
+// bit cast of decodeInto, unrolled the same way).
+func (v *Vector) encodeFrom(f *Lanes) {
+	for i := 0; i+4 <= FloatLanes; i += 4 {
+		binary.LittleEndian.PutUint32(v[i*4:], math.Float32bits(f[i]))
+		binary.LittleEndian.PutUint32(v[i*4+4:], math.Float32bits(f[i+1]))
+		binary.LittleEndian.PutUint32(v[i*4+8:], math.Float32bits(f[i+2]))
+		binary.LittleEndian.PutUint32(v[i*4+12:], math.Float32bits(f[i+3]))
+	}
+}
+
 // Floats decodes the vector's 80 float32 lanes.
 func (v *Vector) Floats() [FloatLanes]float32 {
-	var out [FloatLanes]float32
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(v[i*4:]))
-	}
+	var out Lanes
+	v.decodeInto(&out)
 	return out
 }
 
 // SetFloats encodes 80 float32 lanes into the vector.
 func (v *Vector) SetFloats(f [FloatLanes]float32) {
-	for i, x := range f {
-		binary.LittleEndian.PutUint32(v[i*4:], math.Float32bits(x))
-	}
+	l := Lanes(f)
+	v.encodeFrom(&l)
 }
 
 // VectorOf builds a vector from a float slice (up to 80 lanes; the rest
 // zero).
 func VectorOf(f []float32) Vector {
-	var lanes [FloatLanes]float32
+	var lanes Lanes
 	copy(lanes[:], f)
 	var v Vector
-	v.SetFloats(lanes)
+	v.encodeFrom(&lanes)
 	return v
 }
 
 // C2C is the chip's window onto its links. The multi-chip runtime provides
 // an implementation that moves vectors between chips with the fabric's
 // deterministic latency; single-chip tests can use a loopback or nil-like
-// stub.
+// stub. Vectors cross the interface by pointer so the per-hop cost is the
+// one unavoidable copy into (and out of) the in-flight queue, not 3–4
+// copies through stack frames.
 type C2C interface {
-	// Send transmits the vector on the link at the given local cycle.
-	Send(link int, v Vector, cycle int64)
-	// Recv returns the vector that the schedule guarantees has arrived
-	// on the link by the given cycle. ok=false reports a receiver
-	// underflow — a schedule bug the fabric turns into a hard error.
-	Recv(link int, cycle int64) (Vector, bool)
+	// Send transmits the vector on the link at the given local cycle. The
+	// pointee is only borrowed for the call: the implementation must copy
+	// it before returning, as the chip may overwrite the register next.
+	Send(link int, v *Vector, cycle int64)
+	// Recv delivers into dst the vector that the schedule guarantees has
+	// arrived on the link by the given cycle. ok=false reports a receiver
+	// underflow — a schedule bug the fabric turns into a hard error — and
+	// must leave dst untouched.
+	Recv(link int, cycle int64, dst *Vector) bool
 	// Transmit sends the program-alignment notification vector (Fig 7b).
 	Transmit(link int, cycle int64)
 }
@@ -134,15 +184,47 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("tsp: %v at cycle %d on %v (%v)", f.Kind, f.Cycle, f.Unit, f.Instr)
 }
 
+// opSpanName pre-resolves every opcode's trace label once at package init
+// so the execute hot path indexes a table instead of calling Op.String()
+// per instruction (whose out-of-range fallback allocates through fmt).
+var opSpanName [isa.NumOps]string
+
+func init() {
+	for op := 0; op < isa.NumOps; op++ {
+		opSpanName[op] = isa.Op(op).String()
+	}
+}
+
 // Chip is one TSP instance mid-execution.
 type Chip struct {
 	ID      int
 	Mem     *mem.SRAM
-	Streams [NumStreams]Vector
 	Weights [WeightRows][FloatLanes]float32
+
+	// Stream registers, dual-representation (see the package comment):
+	// streams[i] holds the architectural bytes when byteOK[i], lanes[i]
+	// the decoded float32 lanes when laneOK[i]. At least one bit is set
+	// per register at all times; both set means the two forms agree.
+	streams [NumStreams]Vector
+	lanes   [NumStreams]Lanes
+	byteOK  [NumStreams]bool
+	laneOK  [NumStreams]bool
+
+	// nzTop[i] caches 1 + the highest nonzero lane of stream i (0 = all
+	// lanes zero) while nzOK[i]; any write invalidates it. MatMul bounds
+	// its row loop with it, so sparse activation vectors skip the dead
+	// tail of the weight matrix without a per-row scan. Purely a loop
+	// bound on rows the a==0 test would skip anyway — results are
+	// bit-identical with or without the cache.
+	nzTop [NumStreams]uint8
+	nzOK  [NumStreams]bool
 
 	c2c  C2C
 	prog *isa.Program
+	// slen caches len(prog.Streams[u]) so the per-instruction unit scan
+	// (NextIssue/unitDone) reads a chip-local array instead of chasing the
+	// program's slice headers.
+	slen [isa.NumUnits]int
 
 	pc     [isa.NumUnits]int
 	cursor [isa.NumUnits]int64
@@ -190,8 +272,120 @@ func (c *Chip) Utilization() [isa.NumUnits]float64 {
 // CLI-level tracing observes every chip without plumbing.
 func New(id int, prog *isa.Program, c2c C2C) *Chip {
 	c := &Chip{ID: id, Mem: mem.NewSRAM(), prog: prog, c2c: c2c}
+	for u := range c.slen {
+		c.slen[u] = len(prog.Streams[u])
+	}
+	for i := range c.streams {
+		// Zero bytes and zero lanes agree, so both views start valid; the
+		// all-zero vector's nonzero summary is 0.
+		c.byteOK[i] = true
+		c.laneOK[i] = true
+		c.nzOK[i] = true
+	}
 	c.AttachRecorder(obs.Get())
 	return c
+}
+
+// Stream returns stream register i's architectural 320-byte value,
+// materializing it from the lane cache when a vector ALU wrote it last.
+func (c *Chip) Stream(i int) Vector { return *c.streamBytes(i) }
+
+// StreamFloats returns stream register i decoded to its 80 float32 lanes.
+func (c *Chip) StreamFloats(i int) [FloatLanes]float32 { return *c.streamLanes(i) }
+
+// SetStream stores an architectural 320-byte value into stream register i.
+func (c *Chip) SetStream(i int, v Vector) { *c.byteWrite(i) = v }
+
+// Streams returns a copy of the whole stream-register file as
+// architectural bytes, materializing any lane-cached registers — the
+// comparable form used by restore/parity checks.
+func (c *Chip) Streams() [NumStreams]Vector {
+	var out [NumStreams]Vector
+	for i := range out {
+		out[i] = *c.streamBytes(i)
+	}
+	return out
+}
+
+// streamBytes returns stream i's architectural bytes, lazily re-encoding
+// the lane cache after an ALU write. This is the only place lanes become
+// bytes, and it runs the exact encode the eager byte path ran, so every
+// determinism boundary sees identical bytes.
+func (c *Chip) streamBytes(i int) *Vector {
+	if !c.byteOK[i] {
+		c.streams[i].encodeFrom(&c.lanes[i])
+		c.byteOK[i] = true
+	}
+	return &c.streams[i]
+}
+
+// streamLanes returns stream i's decoded lanes, lazily decoding the bytes
+// after a byte write (Recv/Read/SetStream).
+func (c *Chip) streamLanes(i int) *Lanes {
+	if !c.laneOK[i] {
+		c.streams[i].decodeInto(&c.lanes[i])
+		c.laneOK[i] = true
+	}
+	return &c.lanes[i]
+}
+
+// actTop returns 1 + the highest nonzero lane of stream i (whose lanes
+// the caller has already resolved to f), computing and caching it on
+// demand. The reverse scan checks four lanes per step, so a dense vector
+// pays ~20 compares and a sparse one stops at its live prefix.
+func (c *Chip) actTop(i int, f *Lanes) int {
+	if c.nzOK[i] {
+		return int(c.nzTop[i])
+	}
+	top := FloatLanes
+	for top >= 4 && f[top-1] == 0 && f[top-2] == 0 && f[top-3] == 0 && f[top-4] == 0 {
+		top -= 4
+	}
+	for top > 0 && f[top-1] == 0 {
+		top--
+	}
+	c.nzTop[i] = uint8(top)
+	c.nzOK[i] = true
+	return top
+}
+
+// canonNaNBits is the single quiet-NaN bit pattern every arithmetic
+// kernel emits for a NaN result. IEEE 754 leaves the payload of a NaN
+// produced from NaN operands implementation-defined, and compiled code may
+// legally commute operands (x86's ADDSS/MULSS propagate their first
+// source), so raw result payloads would vary with codegen — observably,
+// between regular and race-instrumented builds of the same kernel. Like
+// RISC-V's FP spec, the architecture pins one canonical NaN instead, so
+// stream bytes are a function of the program alone. Moves, compares,
+// splats, and the byte↔lane codecs still preserve payloads bit-exactly;
+// only arithmetic canonicalizes.
+const canonNaNBits = 0x7fc00000
+
+func canonNaN(x float32) float32 {
+	if x != x {
+		return math.Float32frombits(canonNaNBits)
+	}
+	return x
+}
+
+// laneWrite marks stream i lane-authoritative and returns its lane array
+// for the ALU to fill. Callers must resolve every source operand BEFORE
+// calling: a source may alias the destination, and its lane cache must be
+// populated before the destination's bytes are invalidated.
+func (c *Chip) laneWrite(i int) *Lanes {
+	c.laneOK[i] = true
+	c.byteOK[i] = false
+	c.nzOK[i] = false
+	return &c.lanes[i]
+}
+
+// byteWrite marks stream i byte-authoritative and returns its byte array
+// for a byte producer (Recv, Read, SetStream) to fill.
+func (c *Chip) byteWrite(i int) *Vector {
+	c.byteOK[i] = true
+	c.laneOK[i] = false
+	c.nzOK[i] = false
+	return &c.streams[i]
 }
 
 // AttachRecorder wires the chip's instrumentation to rec (nil detaches).
@@ -231,7 +425,7 @@ func (c *Chip) Done() bool {
 }
 
 func (c *Chip) unitDone(u isa.Unit) bool {
-	return c.halted[u] || c.pc[u] >= len(c.prog.Streams[u])
+	return c.halted[u] || c.pc[u] >= c.slen[u]
 }
 
 // FinishCycle returns the largest unit cursor — the chip's completion time.
@@ -336,9 +530,15 @@ func (c *Chip) execute(u isa.Unit, in isa.Instruction, t int64) {
 	if in.Op != isa.Nop {
 		c.busy[u] += adv
 		if c.rec != nil {
+			name := ""
+			if int(in.Op) < len(opSpanName) {
+				name = opSpanName[in.Op]
+			} else {
+				name = in.Op.String()
+			}
 			c.instrCount[u].Inc()
 			c.busyCycles[u].Add(adv)
-			c.rec.SpanCycles(c.ID, int(u), in.Op.String(), t, adv)
+			c.rec.SpanCycles(c.ID, int(u), name, t, adv)
 		}
 	}
 	switch in.Op {
@@ -385,33 +585,40 @@ func (c *Chip) execute(u isa.Unit, in isa.Instruction, t int64) {
 
 	case isa.Send:
 		if c.c2c != nil {
-			c.c2c.Send(int(in.A), c.Streams[in.B%NumStreams], t)
+			c.c2c.Send(int(in.A), c.streamBytes(int(in.B)%NumStreams), t)
 		}
 
 	case isa.Recv:
 		if c.c2c != nil {
-			v, ok := c.c2c.Recv(int(in.A), t)
-			if !ok {
+			idx := int(in.B) % NumStreams
+			// Recv writes dst only on success, so the register (and its
+			// validity bits) stay coherent across an underflow fault.
+			if !c.c2c.Recv(int(in.A), t, &c.streams[idx]) {
 				c.setFault(&Fault{Kind: ErrUnderflow, Unit: u, Cycle: t, Instr: in})
 				return
 			}
-			c.Streams[in.B%NumStreams] = v
+			c.byteOK[idx] = true
+			c.laneOK[idx] = false
+			c.nzOK[idx] = false
 		}
 
 	case isa.Read:
-		data, ok := c.Mem.Read(memAddr(in))
-		if !ok {
+		idx := int(in.Imm) % NumStreams
+		// ReadInto leaves dst untouched on a poisoned read, so the
+		// register stays coherent when the fault abandons the run.
+		if !c.Mem.ReadInto(memAddr(in), c.streams[idx][:]) {
 			c.setFault(&Fault{Kind: ErrMemPoison, Unit: u, Cycle: t, Instr: in})
 			return
 		}
-		copy(c.Streams[int(in.Imm)%NumStreams][:], data)
+		c.byteOK[idx] = true
+		c.laneOK[idx] = false
+		c.nzOK[idx] = false
 
 	case isa.Write:
-		v := c.Streams[int(in.Imm)%NumStreams]
-		c.Mem.Write(memAddr(in), v[:])
+		c.Mem.Write(memAddr(in), c.streamBytes(int(in.Imm)%NumStreams)[:])
 
 	case isa.LoadWeights:
-		c.Weights[int(in.B)%WeightRows] = c.Streams[in.A%NumStreams].Floats()
+		c.Weights[int(in.B)%WeightRows] = *c.streamLanes(int(in.A) % NumStreams)
 
 	case isa.MatMul:
 		rows := int(in.Imm)
@@ -421,115 +628,155 @@ func (c *Chip) execute(u isa.Unit, in isa.Instruction, t int64) {
 		if rows > WeightRows {
 			rows = WeightRows
 		}
-		act := c.Streams[in.A%NumStreams].Floats()
-		var out [FloatLanes]float32
-		for r := 0; r < rows && r < FloatLanes; r++ {
+		ai := int(in.A) % NumStreams
+		act := c.streamLanes(ai)
+		if rows > FloatLanes {
+			rows = FloatLanes
+		}
+		// Rows above the activation's highest nonzero lane contribute
+		// nothing (the a == 0 test skips them); bound the loop instead of
+		// testing them one by one.
+		if top := c.actTop(ai, act); rows > top {
+			rows = top
+		}
+		var out Lanes
+		for r := 0; r < rows; r++ {
 			a := act[r]
 			if a == 0 {
 				continue
 			}
 			w := &c.Weights[r]
-			for j := range out {
+			// Unrolled 4-wide over the output lanes. Lanes accumulate
+			// independently (out[j] only ever combines with w[j]), so this
+			// reorders nothing within any lane's sum — results stay
+			// bit-identical to the scalar loop.
+			for j := 0; j+4 <= FloatLanes; j += 4 {
 				out[j] += a * w[j]
+				out[j+1] += a * w[j+1]
+				out[j+2] += a * w[j+2]
+				out[j+3] += a * w[j+3]
 			}
 		}
-		var res Vector
-		res.SetFloats(out)
-		c.Streams[in.B%NumStreams] = res
+		// Canonicalize before publishing: NaN can only arise here from a
+		// non-finite input, so the scrub never fires on clean data.
+		for j := 0; j+4 <= FloatLanes; j += 4 {
+			out[j] = canonNaN(out[j])
+			out[j+1] = canonNaN(out[j+1])
+			out[j+2] = canonNaN(out[j+2])
+			out[j+3] = canonNaN(out[j+3])
+		}
+		*c.laneWrite(int(in.B) % NumStreams) = out
 
-	case isa.VAdd, isa.VSub, isa.VMul:
-		a := c.Streams[in.A%NumStreams].Floats()
-		b := c.Streams[in.B%NumStreams].Floats()
-		var out [FloatLanes]float32
-		for i := range out {
-			switch in.Op {
-			case isa.VAdd:
-				out[i] = a[i] + b[i]
-			case isa.VSub:
-				out[i] = a[i] - b[i]
-			default:
-				out[i] = a[i] * b[i]
-			}
+	case isa.VAdd:
+		a := c.streamLanes(int(in.A) % NumStreams)
+		b := c.streamLanes(int(in.B) % NumStreams)
+		out := c.laneWrite(int(in.C) % NumStreams)
+		for i := 0; i+4 <= FloatLanes; i += 4 {
+			out[i] = canonNaN(a[i] + b[i])
+			out[i+1] = canonNaN(a[i+1] + b[i+1])
+			out[i+2] = canonNaN(a[i+2] + b[i+2])
+			out[i+3] = canonNaN(a[i+3] + b[i+3])
 		}
-		var res Vector
-		res.SetFloats(out)
-		c.Streams[in.C%NumStreams] = res
+
+	case isa.VSub:
+		a := c.streamLanes(int(in.A) % NumStreams)
+		b := c.streamLanes(int(in.B) % NumStreams)
+		out := c.laneWrite(int(in.C) % NumStreams)
+		for i := 0; i+4 <= FloatLanes; i += 4 {
+			out[i] = canonNaN(a[i] - b[i])
+			out[i+1] = canonNaN(a[i+1] - b[i+1])
+			out[i+2] = canonNaN(a[i+2] - b[i+2])
+			out[i+3] = canonNaN(a[i+3] - b[i+3])
+		}
+
+	case isa.VMul:
+		a := c.streamLanes(int(in.A) % NumStreams)
+		b := c.streamLanes(int(in.B) % NumStreams)
+		out := c.laneWrite(int(in.C) % NumStreams)
+		for i := 0; i+4 <= FloatLanes; i += 4 {
+			out[i] = canonNaN(a[i] * b[i])
+			out[i+1] = canonNaN(a[i+1] * b[i+1])
+			out[i+2] = canonNaN(a[i+2] * b[i+2])
+			out[i+3] = canonNaN(a[i+3] * b[i+3])
+		}
 
 	case isa.VRsqrt:
-		a := c.Streams[in.A%NumStreams].Floats()
-		var out [FloatLanes]float32
+		a := c.streamLanes(int(in.A) % NumStreams)
+		out := c.laneWrite(int(in.C) % NumStreams)
 		for i := range out {
 			if a[i] > 0 {
 				out[i] = float32(1 / math.Sqrt(float64(a[i])))
+			} else {
+				out[i] = 0
 			}
 		}
-		var res Vector
-		res.SetFloats(out)
-		c.Streams[in.C%NumStreams] = res
 
 	case isa.VSplat:
-		a := c.Streams[in.A%NumStreams].Floats()
+		a := c.streamLanes(int(in.A) % NumStreams)
 		lane := int(in.Imm)
 		if lane < 0 || lane >= FloatLanes {
 			lane = 0
 		}
-		var out [FloatLanes]float32
+		// Capture before laneWrite: the destination may alias the source.
+		s := a[lane]
+		out := c.laneWrite(int(in.C) % NumStreams)
 		for i := range out {
-			out[i] = a[lane]
+			out[i] = s
 		}
-		var res Vector
-		res.SetFloats(out)
-		c.Streams[in.C%NumStreams] = res
 
 	case isa.VCopy:
-		c.Streams[in.C%NumStreams] = c.Streams[in.A%NumStreams]
+		ai, ci := int(in.A)%NumStreams, int(in.C)%NumStreams
+		if ai != ci {
+			// Copy whichever representations are live; the destination
+			// inherits the source's validity, so no decode or encode runs.
+			if c.byteOK[ai] {
+				c.streams[ci] = c.streams[ai]
+			}
+			if c.laneOK[ai] {
+				c.lanes[ci] = c.lanes[ai]
+			}
+			c.byteOK[ci], c.laneOK[ci] = c.byteOK[ai], c.laneOK[ai]
+			c.nzTop[ci], c.nzOK[ci] = c.nzTop[ai], c.nzOK[ai]
+		}
 
 	case isa.VMax:
-		a := c.Streams[in.A%NumStreams].Floats()
-		bb := c.Streams[in.B%NumStreams].Floats()
-		var out [FloatLanes]float32
+		a := c.streamLanes(int(in.A) % NumStreams)
+		b := c.streamLanes(int(in.B) % NumStreams)
+		out := c.laneWrite(int(in.C) % NumStreams)
 		for i := range out {
-			out[i] = a[i]
-			if bb[i] > out[i] {
-				out[i] = bb[i]
+			// Read both operands before the store: out may alias either.
+			av, bv := a[i], b[i]
+			if bv > av {
+				av = bv
 			}
+			out[i] = av
 		}
-		var res Vector
-		res.SetFloats(out)
-		c.Streams[in.C%NumStreams] = res
 
 	case isa.VRelu:
-		a := c.Streams[in.A%NumStreams].Floats()
-		var out [FloatLanes]float32
+		a := c.streamLanes(int(in.A) % NumStreams)
+		out := c.laneWrite(int(in.C) % NumStreams)
 		for i := range out {
 			if a[i] > 0 {
 				out[i] = a[i]
+			} else {
+				out[i] = 0
 			}
 		}
-		var res Vector
-		res.SetFloats(out)
-		c.Streams[in.C%NumStreams] = res
 
 	case isa.VExp:
-		a := c.Streams[in.A%NumStreams].Floats()
-		var out [FloatLanes]float32
+		a := c.streamLanes(int(in.A) % NumStreams)
+		out := c.laneWrite(int(in.C) % NumStreams)
 		for i := range out {
 			out[i] = float32(math.Exp(float64(a[i])))
 		}
-		var res Vector
-		res.SetFloats(out)
-		c.Streams[in.C%NumStreams] = res
 
 	case isa.VScale:
-		a := c.Streams[in.A%NumStreams].Floats()
+		a := c.streamLanes(int(in.A) % NumStreams)
 		k := math.Float32frombits(uint32(in.Imm))
-		var out [FloatLanes]float32
+		out := c.laneWrite(int(in.C) % NumStreams)
 		for i := range out {
-			out[i] = a[i] * k
+			out[i] = canonNaN(a[i] * k)
 		}
-		var res Vector
-		res.SetFloats(out)
-		c.Streams[in.C%NumStreams] = res
 
 	case isa.Halt:
 		c.halted[u] = true

@@ -18,20 +18,20 @@ type loopback struct {
 	transmits []int64
 }
 
-func (l *loopback) Send(link int, v Vector, cycle int64) {
+func (l *loopback) Send(link int, v *Vector, cycle int64) {
 	l.boxes[link] = append(l.boxes[link], struct {
 		v       Vector
 		arrival int64
-	}{v, cycle + l.latency})
+	}{*v, cycle + l.latency})
 }
 
-func (l *loopback) Recv(link int, cycle int64) (Vector, bool) {
+func (l *loopback) Recv(link int, cycle int64, dst *Vector) bool {
 	if len(l.boxes[link]) == 0 || l.boxes[link][0].arrival > cycle {
-		return Vector{}, false
+		return false
 	}
-	v := l.boxes[link][0].v
+	*dst = l.boxes[link][0].v
 	l.boxes[link] = l.boxes[link][1:]
-	return v, true
+	return true
 }
 
 func (l *loopback) Transmit(link int, cycle int64) {
@@ -120,32 +120,32 @@ vmul s1 s2 s5
 vrsqrt s6 s7
 vsplat s1 2 s8
 `), nil)
-	chip.Streams[1] = VectorOf([]float32{1, 2, 3, 4})
-	chip.Streams[2] = VectorOf([]float32{10, 20, 30, 40})
-	chip.Streams[6] = VectorOf([]float32{4, 16, 0, -9})
+	chip.SetStream(1, VectorOf([]float32{1, 2, 3, 4}))
+	chip.SetStream(2, VectorOf([]float32{10, 20, 30, 40}))
+	chip.SetStream(6, VectorOf([]float32{4, 16, 0, -9}))
 	if _, f := chip.Run(); f != nil {
 		t.Fatal(f)
 	}
-	add := chip.Streams[3].Floats()
+	add := chip.StreamFloats(3)
 	if add[0] != 11 || add[3] != 44 {
 		t.Fatalf("vadd wrong: %v", add[:4])
 	}
-	sub := chip.Streams[4].Floats()
+	sub := chip.StreamFloats(4)
 	if sub[1] != -18 {
 		t.Fatalf("vsub wrong: %v", sub[:4])
 	}
-	mul := chip.Streams[5].Floats()
+	mul := chip.StreamFloats(5)
 	if mul[2] != 90 {
 		t.Fatalf("vmul wrong: %v", mul[:4])
 	}
-	rs := chip.Streams[7].Floats()
+	rs := chip.StreamFloats(7)
 	if math.Abs(float64(rs[0])-0.5) > 1e-6 || math.Abs(float64(rs[1])-0.25) > 1e-6 {
 		t.Fatalf("vrsqrt wrong: %v", rs[:4])
 	}
 	if rs[2] != 0 || rs[3] != 0 {
 		t.Fatal("vrsqrt of non-positive lanes should be 0")
 	}
-	sp := chip.Streams[8].Floats()
+	sp := chip.StreamFloats(8)
 	if sp[0] != 3 || sp[79] != 3 {
 		t.Fatalf("vsplat wrong: %v", sp[:4])
 	}
@@ -159,14 +159,14 @@ load_weights s2 1
 load_weights s3 2
 matmul s4 s10 3
 `), nil)
-	chip.Streams[1] = VectorOf([]float32{1, 0, 2}) // W[0] = [1,0,2,...]
-	chip.Streams[2] = VectorOf([]float32{0, 1, 0})
-	chip.Streams[3] = VectorOf([]float32{5, 5, 5})
-	chip.Streams[4] = VectorOf([]float32{2, 3, 4}) // activation
+	chip.SetStream(1, VectorOf([]float32{1, 0, 2})) // W[0] = [1,0,2,...]
+	chip.SetStream(2, VectorOf([]float32{0, 1, 0}))
+	chip.SetStream(3, VectorOf([]float32{5, 5, 5}))
+	chip.SetStream(4, VectorOf([]float32{2, 3, 4})) // activation
 	if _, f := chip.Run(); f != nil {
 		t.Fatal(f)
 	}
-	out := chip.Streams[10].Floats()
+	out := chip.StreamFloats(10)
 	// out[0] = 2*1 + 3*0 + 4*5 = 22; out[1] = 2*0+3*1+4*5 = 23;
 	// out[2] = 2*2+3*0+4*5 = 24.
 	if out[0] != 22 || out[1] != 23 || out[2] != 24 {
@@ -286,11 +286,11 @@ nop 649
 recv 3 s2
 `)
 	chip := New(0, prog, lb)
-	chip.Streams[1] = VectorOf([]float32{42})
+	chip.SetStream(1, VectorOf([]float32{42}))
 	if _, f := chip.Run(); f != nil {
 		t.Fatal(f)
 	}
-	if got := chip.Streams[2].Floats()[0]; got != 42 {
+	if got := chip.StreamFloats(2)[0]; got != 42 {
 		t.Fatalf("recv data = %f, want 42", got)
 	}
 }

@@ -12,16 +12,16 @@ func TestVMaxVRelu(t *testing.T) {
 vmax s1 s2 s3
 vrelu s1 s4
 `), nil)
-	chip.Streams[1] = VectorOf([]float32{-2, 5, 0, -0.5})
-	chip.Streams[2] = VectorOf([]float32{1, 3, -1, -0.25})
+	chip.SetStream(1, VectorOf([]float32{-2, 5, 0, -0.5}))
+	chip.SetStream(2, VectorOf([]float32{1, 3, -1, -0.25}))
 	if _, f := chip.Run(); f != nil {
 		t.Fatal(f)
 	}
-	mx := chip.Streams[3].Floats()
+	mx := chip.StreamFloats(3)
 	if mx[0] != 1 || mx[1] != 5 || mx[2] != 0 || mx[3] != -0.25 {
 		t.Fatalf("vmax = %v", mx[:4])
 	}
-	re := chip.Streams[4].Floats()
+	re := chip.StreamFloats(4)
 	if re[0] != 0 || re[1] != 5 || re[2] != 0 || re[3] != 0 {
 		t.Fatalf("vrelu = %v", re[:4])
 	}
@@ -29,11 +29,11 @@ vrelu s1 s4
 
 func TestVExp(t *testing.T) {
 	chip := New(0, mustProg(t, "vexp s1 s2"), nil)
-	chip.Streams[1] = VectorOf([]float32{0, 1, -1})
+	chip.SetStream(1, VectorOf([]float32{0, 1, -1}))
 	if _, f := chip.Run(); f != nil {
 		t.Fatal(f)
 	}
-	e := chip.Streams[2].Floats()
+	e := chip.StreamFloats(2)
 	if e[0] != 1 {
 		t.Fatalf("exp(0) = %f", e[0])
 	}
@@ -52,11 +52,11 @@ func TestVScale(t *testing.T) {
 		Imm: int32(math.Float32bits(2.5)),
 	})
 	chip := New(0, prog, nil)
-	chip.Streams[1] = VectorOf([]float32{2, -4})
+	chip.SetStream(1, VectorOf([]float32{2, -4}))
 	if _, f := chip.Run(); f != nil {
 		t.Fatal(f)
 	}
-	s := chip.Streams[2].Floats()
+	s := chip.StreamFloats(2)
 	if s[0] != 5 || s[1] != -10 {
 		t.Fatalf("vscale = %v", s[:2])
 	}
@@ -110,12 +110,12 @@ vmul s16 s16 s16     ; 1/s
 vmul s13 s16 s17     ; softmax
 `
 	chip := New(0, mustProg(t, src), nil)
-	chip.Streams[1] = VectorOf([]float32{1, 2, 3, 4})
-	chip.Streams[2] = VectorOf([]float32{1, 1, 1, 1}) // active-lane mask
+	chip.SetStream(1, VectorOf([]float32{1, 2, 3, 4}))
+	chip.SetStream(2, VectorOf([]float32{1, 1, 1, 1})) // active-lane mask
 	if _, f := chip.Run(); f != nil {
 		t.Fatal(f)
 	}
-	out := chip.Streams[17].Floats()
+	out := chip.StreamFloats(17)
 	// Reference softmax.
 	var ref [4]float64
 	var sum float64

@@ -103,7 +103,7 @@ func FunctionalAllReduce(inputs [][]float32) ([][]float32, int64, error) {
 		return nil, 0, err
 	}
 	for i := 0; i < n; i++ {
-		cl.Chip(i).Streams[1] = tsp.VectorOf(inputs[i])
+		cl.Chip(i).SetStream(1, tsp.VectorOf(inputs[i]))
 	}
 	finish, err := cl.Run()
 	if err != nil {
@@ -111,7 +111,7 @@ func FunctionalAllReduce(inputs [][]float32) ([][]float32, int64, error) {
 	}
 	out := make([][]float32, n)
 	for i := 0; i < n; i++ {
-		f := cl.Chip(i).Streams[20].Floats()
+		f := cl.Chip(i).StreamFloats(20)
 		out[i] = append([]float32(nil), f[:]...)
 	}
 	return out, finish, nil

@@ -214,16 +214,16 @@ func RunEncoderOnChip(p *EncoderParams, x [][]float32) ([][]float32, int64, erro
 
 	// Tokens, one-hot masks, active mask.
 	for i := 0; i < p.Seq; i++ {
-		chip.Streams[encTok+i] = tsp.VectorOf(x[i])
+		chip.SetStream(encTok+i, tsp.VectorOf(x[i]))
 		oneHot := make([]float32, p.Seq)
 		oneHot[i] = 1
-		chip.Streams[encOneHot+i] = tsp.VectorOf(oneHot)
+		chip.SetStream(encOneHot+i, tsp.VectorOf(oneHot))
 	}
 	mask := make([]float32, p.Seq)
 	for i := range mask {
 		mask[i] = 1
 	}
-	chip.Streams[encMask] = tsp.VectorOf(mask)
+	chip.SetStream(encMask, tsp.VectorOf(mask))
 
 	finish, fault := chip.Run()
 	if fault != nil {
@@ -231,7 +231,7 @@ func RunEncoderOnChip(p *EncoderParams, x [][]float32) ([][]float32, int64, erro
 	}
 	out := make([][]float32, p.Seq)
 	for i := 0; i < p.Seq; i++ {
-		f := chip.Streams[encOut+i].Floats()
+		f := chip.StreamFloats(encOut+i)
 		out[i] = append([]float32(nil), f[:p.Hidden]...)
 	}
 	return out, finish, nil

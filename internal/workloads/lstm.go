@@ -62,14 +62,14 @@ func FunctionalVectorMatrix(x []float32, w [][]float32) ([]float32, int64, error
 	}
 	prog.Append(isa.Instruction{Op: isa.MatMul, A: 0, B: 63, Imm: int32(k)})
 	chip := tsp.New(0, prog, nil)
-	chip.Streams[0] = tsp.VectorOf(x)
+	chip.SetStream(0, tsp.VectorOf(x))
 	for r := 0; r < k; r++ {
-		chip.Streams[1+r] = tsp.VectorOf(w[r])
+		chip.SetStream(1+r, tsp.VectorOf(w[r]))
 	}
 	finish, fault := chip.Run()
 	if fault != nil {
 		return nil, finish, fault
 	}
-	out := chip.Streams[63].Floats()
+	out := chip.StreamFloats(63)
 	return append([]float32(nil), out[:]...), finish, nil
 }

@@ -24,10 +24,19 @@
 //	tspsim -exp serve    inference serving under load
 //	tspsim -exp par      window-parallel executor equivalence + speedup
 //	tspsim -exp checkpoint  epoch checkpointing: resume cost vs cycle-0 replay
+//	tspsim -exp profile  flight-recorder series + critical-path profiler
 //
 // The -workers flag sets the cluster executor parallelism for every
 // experiment: 1 (default) is the sequential executor, n > 1 the
 // deterministic window-parallel executor — results are byte-identical.
+//
+// The -series flag writes the barrier-sampled time series (JSON, or CSV
+// when the path ends in .csv); -series-every overrides the sampling
+// cadence in cycles (default 2x the 650-cycle hop window). The
+// -profile-report flag runs the post-run profiler over everything the
+// recorder captured and writes the deterministic text report:
+//
+//	tspsim -exp profile -series series.json -profile-report report.txt
 //
 // The -checkpoint-every flag arms epoch-barrier checkpointing (a cadence
 // in cycles) on the recovery-ladder experiments, so replays resume from
@@ -61,6 +70,7 @@ import (
 	"repro/internal/hac"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/route"
 	rtime "repro/internal/runtime"
 	"repro/internal/serve"
@@ -110,6 +120,7 @@ var experiments = []struct {
 	{"par", "window-parallel executor equivalence and speedup", parExp},
 	{"checkpoint", "epoch checkpointing: resume cost vs cycle-0 replay", checkpointExp},
 	{"hotpath", "executor hot-loop throughput (sim-cycles per wall-second)", hotpath},
+	{"profile", "flight-recorder series and critical-path profiler", profileExp},
 }
 
 func main() {
@@ -129,6 +140,9 @@ func run(argv []string, errw io.Writer) int {
 	ckptEvery := fs.Int64("checkpoint-every", 0, "epoch-barrier checkpoint cadence in cycles for the recovery-ladder experiments (0 = off: replays restart from cycle 0)")
 	ckptSave := fs.String("checkpoint-save", "", "run the canonical ring workload with checkpointing and write its last snapshot to this file (skips -exp)")
 	restoreFrom := fs.String("restore-from", "", "decode the snapshot file, restore it into the canonical ring workload, and finish the run (skips -exp)")
+	seriesPath := fs.String("series", "", "write the barrier-sampled time series here (JSON, or CSV when the path ends in .csv)")
+	seriesEvery := fs.Int64("series-every", 0, "time-series sampling cadence in cycles (0 = default cadence when -series or -profile-report is set)")
+	profilePath := fs.String("profile-report", "", "run the post-run profiler over the recorded trace and write the text report here")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run here (e.g. with -exp hotpath)")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit here")
 	if err := fs.Parse(argv); err != nil {
@@ -165,6 +179,10 @@ func run(argv []string, errw io.Writer) int {
 		fmt.Fprintf(errw, "-checkpoint-every must be >= 0, got %d\n", *ckptEvery)
 		return 2
 	}
+	if *seriesEvery < 0 {
+		fmt.Fprintf(errw, "-series-every must be >= 0, got %d\n", *seriesEvery)
+		return 2
+	}
 
 	// Executor parallelism: captured by every cluster built during the
 	// experiments. Restored afterwards so in-process callers (tests) see
@@ -182,10 +200,21 @@ func run(argv []string, errw io.Writer) int {
 	// recorder before any experiment constructs chips, links, or clusters —
 	// every layer picks it up through obs.Get().
 	var rec *obs.Recorder
-	if *tracePath != "" || *metricsPath != "" {
+	if *tracePath != "" || *metricsPath != "" || *seriesPath != "" || *profilePath != "" {
 		rec = obs.New()
 		obs.Set(rec)
 		defer obs.Set(nil)
+	}
+	// Time-series sampling: arming a cadence on the recorder makes every
+	// cluster built afterwards sample its counters and gauges at window
+	// barriers. The default cadence is two hop windows, the same grid the
+	// checkpoint ladder uses.
+	if rec != nil && (*seriesPath != "" || *profilePath != "" || *seriesEvery > 0) {
+		every := *seriesEvery
+		if every == 0 {
+			every = 2 * route.HopCycles
+		}
+		rec.SetSeriesCadence(every)
 	}
 
 	// The snapshot round-trip modes replace the experiment sweep: save
@@ -220,6 +249,23 @@ func run(argv []string, errw io.Writer) int {
 	if *metricsPath != "" {
 		if err := rec.WriteMetricsFile(*metricsPath); err != nil {
 			fmt.Fprintf(errw, "metrics: %v\n", err)
+			return 1
+		}
+	}
+	if *seriesPath != "" {
+		if err := rec.WriteSeriesFile(*seriesPath); err != nil {
+			fmt.Fprintf(errw, "series: %v\n", err)
+			return 1
+		}
+	}
+	if *profilePath != "" {
+		rep, err := prof.Analyze(rec.State(), prof.Options{})
+		if err != nil {
+			fmt.Fprintf(errw, "profile-report: %v\n", err)
+			return 1
+		}
+		if err := rep.RenderFile(*profilePath); err != nil {
+			fmt.Fprintf(errw, "profile-report: %v\n", err)
 			return 1
 		}
 	}

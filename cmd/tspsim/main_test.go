@@ -52,6 +52,158 @@ func TestBadFlagExitsNonzero(t *testing.T) {
 	}
 }
 
+// TestNegativeSeriesEveryRejected mirrors the -checkpoint-every guard:
+// a negative cadence is a usage error, reported before any experiment
+// runs.
+func TestNegativeSeriesEveryRejected(t *testing.T) {
+	muteStdout(t)
+	var errw bytes.Buffer
+	if code := run([]string{"-exp", "fig11", "-series-every", "-1"}, &errw); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "-series-every must be >= 0") {
+		t.Errorf("stderr missing cadence message:\n%s", errw.String())
+	}
+}
+
+// TestNegativeCheckpointEveryRejected pins the guard the series flag
+// mirrors.
+func TestNegativeCheckpointEveryRejected(t *testing.T) {
+	muteStdout(t)
+	var errw bytes.Buffer
+	if code := run([]string{"-exp", "fig11", "-checkpoint-every", "-650"}, &errw); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "-checkpoint-every must be >= 0") {
+		t.Errorf("stderr missing cadence message:\n%s", errw.String())
+	}
+}
+
+// TestProfileReportWithoutSpansFails: -profile-report on an experiment
+// that never builds a cluster has nothing to profile and must say so.
+func TestProfileReportWithoutSpansFails(t *testing.T) {
+	muteStdout(t)
+	var errw bytes.Buffer
+	rp := filepath.Join(t.TempDir(), "r.txt")
+	if code := run([]string{"-exp", "fig11", "-profile-report", rp}, &errw); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "profile-report:") {
+		t.Errorf("stderr missing profile-report error:\n%s", errw.String())
+	}
+}
+
+// TestSeriesAndProfileGolden is the schema-stability satellite: the series
+// export, flat metrics JSON, and profiler report from `-exp profile` are
+// byte-identical across repeated runs and across -workers 1/2/8, the
+// series JSON parses with the documented shape, and the report carries an
+// exact critical path.
+func TestSeriesAndProfileGolden(t *testing.T) {
+	muteStdout(t)
+	dir := t.TempDir()
+	type dump struct{ series, metrics, report []byte }
+	runOnce := func(tag string, workers string) dump {
+		sp := filepath.Join(dir, "s"+tag+".json")
+		mp := filepath.Join(dir, "m"+tag+".json")
+		rp := filepath.Join(dir, "r"+tag+".txt")
+		var errw bytes.Buffer
+		code := run([]string{"-exp", "profile", "-workers", workers,
+			"-series", sp, "-metrics", mp, "-profile-report", rp}, &errw)
+		if code != 0 {
+			t.Fatalf("workers=%s exit code = %d, stderr:\n%s", workers, code, errw.String())
+		}
+		var d dump
+		var err error
+		if d.series, err = os.ReadFile(sp); err != nil {
+			t.Fatal(err)
+		}
+		if d.metrics, err = os.ReadFile(mp); err != nil {
+			t.Fatal(err)
+		}
+		if d.report, err = os.ReadFile(rp); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	ref := runOnce("ref", "1")
+	for _, tc := range []struct{ tag, workers string }{
+		{"again", "1"}, {"w2", "2"}, {"w8", "8"},
+	} {
+		got := runOnce(tc.tag, tc.workers)
+		if !bytes.Equal(got.series, ref.series) {
+			t.Errorf("workers=%s: series export differs from reference", tc.workers)
+		}
+		if !bytes.Equal(got.metrics, ref.metrics) {
+			t.Errorf("workers=%s: metrics dump differs from reference", tc.workers)
+		}
+		if !bytes.Equal(got.report, ref.report) {
+			t.Errorf("workers=%s: profiler report differs from reference", tc.workers)
+		}
+	}
+
+	// Series schema: {"cadence":N,"series":{name:{pid,samples:[{cycle,value}]}}}.
+	var doc struct {
+		Cadence int64 `json:"cadence"`
+		Series  map[string]struct {
+			Pid     int `json:"pid"`
+			Samples []struct {
+				Cycle *int64 `json:"cycle"`
+				Value *int64 `json:"value"`
+			} `json:"samples"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(ref.series, &doc); err != nil {
+		t.Fatalf("series export is not valid JSON: %v", err)
+	}
+	if doc.Cadence <= 0 || len(doc.Series) == 0 {
+		t.Fatalf("series export empty: cadence %d, %d series", doc.Cadence, len(doc.Series))
+	}
+	for name, s := range doc.Series {
+		if len(s.Samples) == 0 {
+			t.Errorf("series %q has no samples", name)
+		}
+		for _, p := range s.Samples {
+			if p.Cycle == nil || p.Value == nil {
+				t.Fatalf("series %q sample missing cycle/value", name)
+			}
+		}
+	}
+	for _, want := range []string{"runtime.inflight_vectors", "tsp.busy_cycles", "tsp.stall_cycles"} {
+		found := false
+		for name := range doc.Series {
+			if strings.HasPrefix(name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("series export missing %s*", want)
+		}
+	}
+
+	report := string(ref.report)
+	for _, section := range []string{"=== profile report ===", "-- occupancy", "-- critical path --"} {
+		if !strings.Contains(report, section) {
+			t.Errorf("report missing %q", section)
+		}
+	}
+
+	// CSV flavor: same data, spreadsheet shape.
+	cp := filepath.Join(dir, "s.csv")
+	var errw bytes.Buffer
+	if code := run([]string{"-exp", "profile", "-series", cp}, &errw); code != 0 {
+		t.Fatalf("csv run exit code = %d, stderr:\n%s", code, errw.String())
+	}
+	csv, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "series,pid,cycle,value\n") {
+		t.Errorf("CSV export missing header: %.80s", csv)
+	}
+}
+
 // TestTraceAndMetricsDeterministic is the issue's acceptance check: two
 // same-seed runs of fig17 must produce byte-identical trace and metrics
 // files, and the trace must be valid Chrome trace-event JSON.

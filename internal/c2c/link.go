@@ -161,6 +161,7 @@ type Link struct {
 	// share unlabeled aggregate counters by default; Instrument installs
 	// labeled per-link ones.
 	framesTx, bitErrsInjected, framesRx, sbesCorrected, mbesDetected *obs.Counter
+	slotCycles                                                       *obs.Counter
 	rec                                                              *obs.Recorder
 }
 
@@ -190,6 +191,7 @@ func (l *Link) Instrument(rec *obs.Recorder, labels ...obs.Label) {
 	l.sbesCorrected = rec.Counter("c2c.sbes_corrected", labels...)
 	l.mbesDetected = rec.Counter("c2c.mbes_detected", labels...)
 	l.flaps = rec.Counter("c2c.link_flaps", labels...)
+	l.slotCycles = rec.Counter("c2c.slot_cycles", labels...)
 }
 
 // Config returns the link's physical configuration.
@@ -278,6 +280,7 @@ type Frame struct {
 func (l *Link) Transmit(f Frame) Frame {
 	f.fec = ecc.EncodeFrame(f.Payload[:])
 	l.framesTx.Inc()
+	l.slotCycles.Add(VectorSlotCycles)
 	if ber := l.cfg.BitErrorRate; ber > 0 {
 		bits := VectorBytes * 8
 		// With realistic BERs (<1e-12) a per-bit loop is exact but
@@ -319,6 +322,7 @@ func (l *Link) Receive(f Frame) (Frame, int, bool) {
 func (l *Link) TransferVector(payload *[VectorBytes]byte) (corrected int, mbe bool) {
 	fec := ecc.EncodeFrame(payload[:])
 	l.framesTx.Inc()
+	l.slotCycles.Add(VectorSlotCycles)
 	if ber := l.cfg.BitErrorRate; ber > 0 {
 		bits := VectorBytes * 8
 		// Same exact per-bit process as Transmit: identical RNG draws in

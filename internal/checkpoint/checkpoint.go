@@ -44,8 +44,10 @@ import (
 	"repro/internal/tsp"
 )
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version. Version 2 added per-unit stall
+// cycles to the cluster section and time series (plus the sampling
+// cadence) to the obs section.
+const Version = 2
 
 // magic opens every checkpoint blob.
 const magic = "TSPCKPT\x01"
@@ -167,6 +169,7 @@ func EncodeCluster(s *Snapshot) []byte {
 			e.bool(us.Parked)
 			e.bool(us.Halted)
 			e.i64(us.Busy)
+			e.i64(us.Stall)
 		}
 		e.i64(c.Mem.CorrectedSBEs)
 		e.i64(c.Mem.DetectedMBEs)
@@ -296,6 +299,23 @@ func encodeObs(s *obs.State) []byte {
 		e.i64(int64(k[0]))
 		e.i64(int64(k[1]))
 		e.str(s.Threads[k])
+	}
+	e.i64(s.SeriesCadence)
+	sks := make([]string, 0, len(s.Series))
+	for k := range s.Series {
+		sks = append(sks, k)
+	}
+	sort.Strings(sks)
+	e.u32(uint32(len(sks)))
+	for _, k := range sks {
+		sr := s.Series[k]
+		e.str(k)
+		e.i64(int64(sr.Pid))
+		e.u32(uint32(len(sr.Samples)))
+		for _, p := range sr.Samples {
+			e.i64(p.Cycle)
+			e.i64(p.Value)
+		}
 	}
 	return e.b
 }
@@ -459,6 +479,7 @@ func Decode(blob []byte) (*Snapshot, error) {
 				Parked: d.bool(),
 				Halted: d.bool(),
 				Busy:   d.i64(),
+				Stall:  d.i64(),
 			}
 		}
 		c.Mem.CorrectedSBEs = d.i64()
@@ -537,6 +558,7 @@ func decodeObs(d *dec) *obs.State {
 		Hists:    map[string]obs.HistState{},
 		Procs:    map[int]string{},
 		Threads:  map[[2]int]string{},
+		Series:   map[string]obs.SeriesState{},
 	}
 	n := d.count(12)
 	for i := 0; i < n && d.err == nil; i++ {
@@ -582,6 +604,17 @@ func decodeObs(d *dec) *obs.State {
 		pid := int(d.i64())
 		tid := int(d.i64())
 		s.Threads[[2]int{pid, tid}] = d.str()
+	}
+	s.SeriesCadence = d.i64()
+	n = d.count(16)
+	for i := 0; i < n && d.err == nil; i++ {
+		k := d.str()
+		sr := obs.SeriesState{Pid: int(d.i64())}
+		ns := d.count(16)
+		for j := 0; j < ns && d.err == nil; j++ {
+			sr.Samples = append(sr.Samples, obs.SamplePoint{Cycle: d.i64(), Value: d.i64()})
+		}
+		s.Series[k] = sr
 	}
 	return s
 }

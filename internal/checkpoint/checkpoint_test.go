@@ -70,6 +70,15 @@ func testSnapshot() *Snapshot {
 			},
 			Procs:   map[int]string{2: "fabric"},
 			Threads: map[[2]int]string{{2, 4}: "checkpoints"},
+			Series: map[string]obs.SeriesState{
+				"runtime.inflight_vectors": {Pid: 9001, Samples: []obs.SamplePoint{
+					{Cycle: 650, Value: 3}, {Cycle: 1300, Value: 0},
+				}},
+				"tsp.busy_cycles{chip=0,unit=mxm}": {Pid: 9001, Samples: []obs.SamplePoint{
+					{Cycle: 650, Value: 120},
+				}},
+			},
+			SeriesCadence: 650,
 		},
 	}
 }

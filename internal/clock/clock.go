@@ -37,6 +37,17 @@ const CyclesPerMicrosecond = ClockMHz
 // nominal 900 MHz.
 func USOfCycles(cycles int64) float64 { return float64(cycles) / CyclesPerMicrosecond }
 
+// CyclesOfUS converts a microsecond timestamp back to nominal-clock
+// cycles, rounding to the nearest cycle. It inverts USOfCycles exactly
+// for cycle counts below ~2^50 (the float64 product is exact there), so
+// post-run analysis can recover integer cycles from trace timestamps.
+func CyclesOfUS(us float64) int64 {
+	if us <= 0 {
+		return 0
+	}
+	return int64(us*CyclesPerMicrosecond + 0.5)
+}
+
 // NominalCyclePs is the nominal core clock period in picoseconds (1/900MHz ≈
 // 1111.1 ps). Kept as integer numerator/denominator: period = PsPerSecond /
 // freq, computed exactly per-cycle-count below.

@@ -85,3 +85,51 @@ func TestBusiestLinksOrdering(t *testing.T) {
 		t.Fatalf("busiest link is %d→%d, want 0→1", first.From, first.To)
 	}
 }
+
+// TestBusiestLinksBounds: n=0 means "all", n larger than the live set is
+// clamped, and the full list is sorted by descending occupancy.
+func TestBusiestLinksBounds(t *testing.T) {
+	sys := node8(t)
+	cs, err := ScheduleTransfers(sys, []Transfer{
+		{ID: 0, Src: 0, Dst: 1, Vectors: 20, MinimalOnly: true},
+		{ID: 1, Src: 2, Dst: 3, Vectors: 5, MinimalOnly: true},
+		{ID: 2, Src: 4, Dst: 5, Vectors: 9, MinimalOnly: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := cs.LinkOccupancy()
+	all := cs.BusiestLinks(0)
+	if len(all) != len(occ) {
+		t.Fatalf("n=0 returned %d links, want all %d", len(all), len(occ))
+	}
+	for i := 1; i < len(all); i++ {
+		if occ[all[i]] > occ[all[i-1]] {
+			t.Fatalf("links not in descending occupancy: %v", all)
+		}
+	}
+	if wide := cs.BusiestLinks(len(occ) + 10); len(wide) != len(occ) {
+		t.Fatalf("oversized n returned %d links, want %d", len(wide), len(occ))
+	}
+}
+
+// TestBusiestLinksTieBreak: equal-occupancy links rank by ascending link
+// id, so the ordering — and everything rendered from it — is
+// deterministic.
+func TestBusiestLinksTieBreak(t *testing.T) {
+	sys := node8(t)
+	cs, err := ScheduleTransfers(sys, []Transfer{
+		{ID: 0, Src: 0, Dst: 1, Vectors: 7, MinimalOnly: true},
+		{ID: 1, Src: 2, Dst: 3, Vectors: 7, MinimalOnly: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := cs.LinkOccupancy()
+	links := cs.BusiestLinks(0)
+	for i := 1; i < len(links); i++ {
+		if occ[links[i]] == occ[links[i-1]] && links[i] <= links[i-1] {
+			t.Fatalf("tied links not in ascending id order: %v", links)
+		}
+	}
+}

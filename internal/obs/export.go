@@ -6,6 +6,9 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
+
+	"repro/internal/clock"
 )
 
 // traceEvent is the Chrome trace-event JSON wire form. See
@@ -50,6 +53,10 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 	threads := make(map[[2]int]string, len(r.threads))
 	for k, name := range r.threads {
 		threads[k] = name
+	}
+	series := make(map[string]*Series, len(r.series))
+	for k, s := range r.series {
+		series[k] = s
 	}
 	r.mu.Unlock()
 
@@ -111,6 +118,25 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 			te.S = "t" // thread-scoped instant
 		}
 		out.TraceEvents = append(out.TraceEvents, te)
+	}
+	// Counter tracks: one "ph":"C" event per series sample, so Perfetto
+	// renders live utilization lanes next to the spans. Grouped by sorted
+	// series name, samples in cycle order — a deterministic tail that is
+	// absent entirely when no series were recorded, keeping pre-series
+	// traces byte-identical.
+	snames := make([]string, 0, len(series))
+	for k := range series {
+		snames = append(snames, k)
+	}
+	sort.Strings(snames)
+	for _, k := range snames {
+		s := series[k]
+		for _, p := range s.snapshot() {
+			args := json.RawMessage(fmt.Sprintf(`{"value":%d}`, p.Value))
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: k, Ph: "C", Ts: clock.USOfCycles(p.Cycle), Pid: s.pid, Args: args,
+			})
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
@@ -210,6 +236,96 @@ func (r *Recorder) WriteMetricsFile(path string) error {
 	if err := r.WriteMetrics(f); err != nil {
 		f.Close()
 		return err
+	}
+	return f.Close()
+}
+
+// seriesDump is the series-JSON form of one series.
+type seriesDump struct {
+	Pid     int           `json:"pid"`
+	Samples []SamplePoint `json:"samples"`
+}
+
+// seriesFile is the series export document: the sampling cadence plus
+// every series keyed by canonical metric name. encoding/json emits map
+// keys in sorted order, which (with integer samples) makes the dump
+// deterministic.
+type seriesFile struct {
+	Cadence int64                 `json:"cadence"`
+	Series  map[string]seriesDump `json:"series"`
+}
+
+// WriteSeries exports every recorded time series as a flat JSON document
+// keyed by canonical metric name, samples in cycle order.
+func (r *Recorder) WriteSeries(w io.Writer) error {
+	out := seriesFile{Series: map[string]seriesDump{}}
+	if r != nil {
+		r.mu.Lock()
+		out.Cadence = r.seriesEvery
+		series := make(map[string]*Series, len(r.series))
+		for k, s := range r.series {
+			series[k] = s
+		}
+		r.mu.Unlock()
+		for k, s := range series {
+			out.Series[k] = seriesDump{Pid: s.pid, Samples: s.snapshot()}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteSeriesCSV exports the series as CSV with a fixed header
+// (series,pid,cycle,value), rows sorted by series name then sample
+// order — a shape spreadsheet tooling ingests directly.
+func (r *Recorder) WriteSeriesCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("series,pid,cycle,value\n")
+	if r != nil {
+		r.mu.Lock()
+		series := make(map[string]*Series, len(r.series))
+		for k, s := range r.series {
+			series[k] = s
+		}
+		r.mu.Unlock()
+		names := make([]string, 0, len(series))
+		for k := range series {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			// Canonical keys with labels contain commas; RFC 4180 quoting
+			// keeps the rows machine-parseable.
+			name := k
+			if strings.ContainsAny(name, ",\"") {
+				name = `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+			}
+			s := series[k]
+			for _, p := range s.snapshot() {
+				fmt.Fprintf(&b, "%s,%d,%d,%d\n", name, s.pid, p.Cycle, p.Value)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteSeriesFile writes the series export to a file path, choosing CSV
+// when the path ends in ".csv" and JSON otherwise.
+func (r *Recorder) WriteSeriesFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".csv") {
+		werr = r.WriteSeriesCSV(f)
+	} else {
+		werr = r.WriteSeries(f)
+	}
+	if werr != nil {
+		f.Close()
+		return werr
 	}
 	return f.Close()
 }

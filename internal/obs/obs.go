@@ -205,6 +205,11 @@ type Recorder struct {
 	events   []event
 	procs    map[int]string
 	threads  map[[2]int]string
+	// series and the sampling cadence live in series.go; the cadence is
+	// advisory metadata the window executor reads to schedule SampleSeries
+	// calls at barriers.
+	series      map[string]*Series
+	seriesEvery int64
 }
 
 // New returns an empty recorder.
@@ -215,6 +220,7 @@ func New() *Recorder {
 		hists:    map[string]*Histogram{},
 		procs:    map[int]string{},
 		threads:  map[[2]int]string{},
+		series:   map[string]*Series{},
 	}
 }
 

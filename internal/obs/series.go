@@ -1,0 +1,157 @@
+// Cadence-sampled time series: the flight-recorder half of the
+// observability layer.
+//
+// A Series is an append-only sequence of (cycle, value) samples for one
+// metric. Series fill two ways: instrumented code appends directly
+// (serve's queue-depth track), or the runtime calls SampleSeries at a
+// window barrier and the recorder snapshots every registered counter and
+// gauge into a series named by the metric's canonical key. Barriers are
+// worker-invariant points — every send issued before the barrier cycle
+// has been flushed, counter values commute — so the sampled series are
+// byte-identical across worker counts, the same argument that makes the
+// flat metrics dump stable.
+//
+// Like every obs handle, the nil *Series and nil *Recorder are valid
+// no-op sinks: instrumented hot paths pay one predictable branch when
+// observability is off.
+package obs
+
+import "sync"
+
+// SamplePoint is one (simulated cycle, value) observation.
+type SamplePoint struct {
+	Cycle int64 `json:"cycle"`
+	Value int64 `json:"value"`
+}
+
+// Series is an append-only per-metric time series keyed by simulated
+// cycle. The nil series is a valid no-op sink. Appends are
+// mutex-protected so host-side code (serve) can record while other
+// goroutines resolve handles; the simulator itself appends only from
+// single-threaded barrier code.
+type Series struct {
+	mu      sync.Mutex
+	pid     int
+	samples []SamplePoint
+}
+
+// Add appends a sample. A sample at the same cycle as the last one
+// overwrites it (last write wins), so re-sampling a barrier is
+// idempotent.
+func (s *Series) Add(cycle, value int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if n := len(s.samples); n > 0 && s.samples[n-1].Cycle == cycle {
+		s.samples[n-1].Value = value
+	} else {
+		s.samples = append(s.samples, SamplePoint{Cycle: cycle, Value: value})
+	}
+	s.mu.Unlock()
+}
+
+// Len reports the number of samples (0 for nil).
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Pid reports the trace process the series renders under (0 for nil).
+func (s *Series) Pid() int {
+	if s == nil {
+		return 0
+	}
+	return s.pid
+}
+
+// snapshot copies the sample slice.
+func (s *Series) snapshot() []SamplePoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SamplePoint(nil), s.samples...)
+}
+
+// Series returns (creating on first use) the series for name+labels,
+// rendered as a counter track under trace process pid. The pid argument
+// is used only on first creation. Returns nil on a nil recorder.
+func (r *Recorder) Series(name string, pid int, labels ...Label) *Series {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	r.mu.Lock()
+	s := r.seriesLocked(k, pid)
+	r.mu.Unlock()
+	return s
+}
+
+// seriesLocked is the create-on-first-use body; callers hold r.mu.
+func (r *Recorder) seriesLocked(k string, pid int) *Series {
+	s, ok := r.series[k]
+	if !ok {
+		s = &Series{pid: pid}
+		r.series[k] = s
+	}
+	return s
+}
+
+// SetSeriesCadence arms (or, with 0, disarms) barrier sampling every
+// `every` cycles. The cadence is advisory metadata for the executor that
+// drives SampleSeries; the recorder itself never samples spontaneously.
+// Negative cadences clamp to 0.
+func (r *Recorder) SetSeriesCadence(every int64) {
+	if r == nil {
+		return
+	}
+	if every < 0 {
+		every = 0
+	}
+	r.mu.Lock()
+	r.seriesEvery = every
+	r.mu.Unlock()
+}
+
+// SeriesCadence reports the armed sampling cadence (0 = disarmed, and
+// for the nil recorder).
+func (r *Recorder) SeriesCadence() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seriesEvery
+}
+
+// NumSeries reports how many series exist (0 for nil).
+func (r *Recorder) NumSeries() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.series)
+}
+
+// SampleSeries snapshots every registered counter and gauge into its
+// series at the given cycle, creating series (under PidFabric) on first
+// sight of a metric. Call it only from points where the counter values
+// are execution-order invariant — window barriers — so the resulting
+// series match across worker counts. Nil-recorder calls are no-ops.
+func (r *Recorder) SampleSeries(cycle int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for k, c := range r.counters {
+		r.seriesLocked(k, PidFabric).Add(cycle, c.v.Load())
+	}
+	for k, g := range r.gauges {
+		r.seriesLocked(k, PidFabric).Add(cycle, g.v.Load())
+	}
+	r.mu.Unlock()
+}

@@ -34,6 +34,12 @@ type EventState struct {
 	Dur  float64
 }
 
+// SeriesState is one time series' captured samples and display pid.
+type SeriesState struct {
+	Pid     int
+	Samples []SamplePoint
+}
+
 // State is a point-in-time copy of a recorder's registry and trace sink.
 type State struct {
 	Counters map[string]int64
@@ -42,6 +48,10 @@ type State struct {
 	Events   []EventState
 	Procs    map[int]string
 	Threads  map[[2]int]string
+	// Series and the sampling cadence round-trip through checkpoints so a
+	// restored run's exports match the straight run byte for byte.
+	Series        map[string]SeriesState
+	SeriesCadence int64
 }
 
 // sortEvents orders events by the WriteTrace export comparator. The
@@ -77,12 +87,14 @@ func (r *Recorder) State() *State {
 	}
 	r.mu.Lock()
 	s := &State{
-		Counters: make(map[string]int64, len(r.counters)),
-		Gauges:   make(map[string]int64, len(r.gauges)),
-		Hists:    make(map[string]HistState, len(r.hists)),
-		Events:   make([]EventState, 0, len(r.events)),
-		Procs:    make(map[int]string, len(r.procs)),
-		Threads:  make(map[[2]int]string, len(r.threads)),
+		Counters:      make(map[string]int64, len(r.counters)),
+		Gauges:        make(map[string]int64, len(r.gauges)),
+		Hists:         make(map[string]HistState, len(r.hists)),
+		Events:        make([]EventState, 0, len(r.events)),
+		Procs:         make(map[int]string, len(r.procs)),
+		Threads:       make(map[[2]int]string, len(r.threads)),
+		Series:        make(map[string]SeriesState, len(r.series)),
+		SeriesCadence: r.seriesEvery,
 	}
 	for k, c := range r.counters {
 		s.Counters[k] = c.v.Load()
@@ -114,6 +126,9 @@ func (r *Recorder) State() *State {
 	}
 	for k, name := range r.threads {
 		s.Threads[k] = name
+	}
+	for k, sr := range r.series {
+		s.Series[k] = SeriesState{Pid: sr.pid, Samples: sr.snapshot()}
 	}
 	r.mu.Unlock()
 	sortEvents(s.Events)
@@ -162,4 +177,12 @@ func (r *Recorder) LoadState(s *State) {
 	for k, name := range s.Threads {
 		r.threads[k] = name
 	}
+	r.series = make(map[string]*Series, len(s.Series))
+	for k, ss := range s.Series {
+		r.series[k] = &Series{
+			pid:     ss.Pid,
+			samples: append([]SamplePoint(nil), ss.Samples...),
+		}
+	}
+	r.seriesEvery = s.SeriesCadence
 }

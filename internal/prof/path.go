@@ -1,0 +1,199 @@
+// Critical-path extraction over the span DAG.
+//
+// The trace gives exact cycle intervals for every unit instruction
+// (pid = chip, tid = functional unit) and every link transfer (pid =
+// source chip, tid = TidLinkBase+link, name "c2c.tx>dst"). Dependencies
+// follow the machine's dataflow: work on a chip depends on earlier work
+// on the same chip or on a transfer INTO the chip; a transfer depends on
+// earlier work on its source chip. The walk is backward and greedy: from
+// the span that sets the finish cycle, repeatedly hop to the
+// latest-ending span that retired at or before the current span started,
+// preferring an inbound transfer on ties (a cross-chip arrival is the
+// tighter dependence). Any gap between hops is time nothing on the
+// dependent chip could issue — attributed as barrier-wait. The resulting
+// chain is non-overlapping and reaches back to cycle 0, so
+//
+//	compute + link + wait == finish cycle
+//
+// exactly, which the profile experiment and tests assert.
+package prof
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// linkTxPrefix is the destination-encoded transfer span name the runtime
+// records ("c2c.tx>7" = transfer into chip 7).
+const linkTxPrefix = "c2c.tx>"
+
+// analyzePath extracts the critical path from the chip spans.
+func (r *Report) analyzePath(spans []span) {
+	// Index: byChip[p] = compute spans executed on chip p; txByDst[p] =
+	// transfer spans delivering into chip p. Both sorted by (end, pid,
+	// tid, start, name) so "latest predecessor" is a binary search and
+	// ties resolve identically on every run.
+	byChip := map[int][]span{}
+	txByDst := map[int][]span{}
+	for _, s := range spans {
+		if s.tid >= obs.TidLinkBase {
+			if !strings.HasPrefix(s.name, linkTxPrefix) {
+				continue // foreign link-track span (e.g. core.RecordObservability)
+			}
+			dst := 0
+			ok := true
+			for _, ch := range s.name[len(linkTxPrefix):] {
+				if ch < '0' || ch > '9' {
+					ok = false
+					break
+				}
+				dst = dst*10 + int(ch-'0')
+			}
+			if !ok {
+				continue
+			}
+			txByDst[dst] = append(txByDst[dst], s)
+		} else {
+			byChip[s.pid] = append(byChip[s.pid], s)
+		}
+	}
+	order := func(list []span) {
+		sort.Slice(list, func(i, j int) bool {
+			a, b := list[i], list[j]
+			if a.end != b.end {
+				return a.end < b.end
+			}
+			if a.pid != b.pid {
+				return a.pid < b.pid
+			}
+			if a.tid != b.tid {
+				return a.tid < b.tid
+			}
+			if a.start != b.start {
+				return a.start < b.start
+			}
+			return a.name < b.name
+		})
+	}
+	for _, list := range byChip {
+		order(list)
+	}
+	for _, list := range txByDst {
+		order(list)
+	}
+
+	// Anchor: the span that sets the finish cycle (latest end; ties break
+	// toward the lowest pid/tid/start/name).
+	var anchor span
+	found := false
+	for _, s := range spans {
+		if !found || later(s, anchor) {
+			anchor, found = s, true
+		}
+	}
+	if !found {
+		return
+	}
+
+	// Backward greedy walk. The chain is bounded by the span count: every
+	// hop moves strictly earlier in (end, start) order.
+	var rev []PathSegment
+	cur := anchor
+	for steps := 0; steps <= len(spans)+1; steps++ {
+		rev = append(rev, PathSegment{
+			Kind: kindOf(cur), Name: cur.name, Pid: cur.pid, Tid: cur.tid,
+			Start: cur.start, End: cur.end,
+		})
+		pred, ok := predecessor(byChip[cur.pid], txByDst[cur.pid], cur)
+		if !ok {
+			break
+		}
+		if gap := cur.start - pred.end; gap > 0 {
+			rev = append(rev, PathSegment{
+				Kind: SegWait, Name: "barrier-wait", Pid: cur.pid,
+				Start: pred.end, End: cur.start,
+			})
+		}
+		cur = pred
+	}
+	if cur.start > 0 {
+		// Nothing precedes the first span: lead-in from cycle 0.
+		rev = append(rev, PathSegment{
+			Kind: SegWait, Name: "barrier-wait", Pid: cur.pid, Start: 0, End: cur.start,
+		})
+	}
+	// Reverse to earliest-first and total the attributions.
+	r.Path = make([]PathSegment, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		seg := rev[i]
+		r.Path = append(r.Path, seg)
+		switch seg.Kind {
+		case SegCompute:
+			r.ComputeCycles += seg.End - seg.Start
+		case SegLink:
+			r.LinkCycles += seg.End - seg.Start
+		case SegWait:
+			r.WaitCycles += seg.End - seg.Start
+		}
+	}
+}
+
+func kindOf(s span) SegKind {
+	if s.tid >= obs.TidLinkBase {
+		return SegLink
+	}
+	return SegCompute
+}
+
+// later reports whether a anchors the finish cycle ahead of b: latest
+// end wins, ties toward the lowest (pid, tid, start, name).
+func later(a, b span) bool {
+	if a.end != b.end {
+		return a.end > b.end
+	}
+	if a.pid != b.pid {
+		return a.pid < b.pid
+	}
+	if a.tid != b.tid {
+		return a.tid < b.tid
+	}
+	if a.start != b.start {
+		return a.start < b.start
+	}
+	return a.name < b.name
+}
+
+// predecessor finds the latest span retiring at or before cur's start
+// among cur's chip-local spans and the transfers into cur's chip. Link
+// transfers win ties: the cross-chip arrival is the tighter dependence.
+func predecessor(local, inbound []span, cur span) (span, bool) {
+	lp, lok := lastEnding(local, cur)
+	ip, iok := lastEnding(inbound, cur)
+	switch {
+	case lok && iok:
+		if ip.end >= lp.end {
+			return ip, true
+		}
+		return lp, true
+	case iok:
+		return ip, true
+	case lok:
+		return lp, true
+	}
+	return span{}, false
+}
+
+// lastEnding returns the last span in the (end-sorted) list ending at or
+// before cur.start, excluding cur itself. Among equal ends the sort
+// order's first is taken after skipping cur — deterministic either way.
+func lastEnding(list []span, cur span) (span, bool) {
+	i := sort.Search(len(list), func(i int) bool { return list[i].end > cur.start })
+	for i--; i >= 0; i-- {
+		if list[i] != cur {
+			return list[i], true
+		}
+	}
+	return span{}, false
+}

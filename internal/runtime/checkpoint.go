@@ -283,5 +283,10 @@ func (cl *Cluster) RestoreSnapshot(s *checkpoint.Snapshot) error {
 	if cl.ckptEvery > 0 {
 		cl.ckptNext = (s.CaptureCycle/cl.ckptEvery + 1) * cl.ckptEvery
 	}
+	if cl.seriesEvery > 0 {
+		// The snapshot's obs section already holds every sample up to the
+		// capture barrier; resume sampling strictly after it.
+		cl.seriesNext = (s.CaptureCycle/cl.seriesEvery + 1) * cl.seriesEvery
+	}
 	return nil
 }

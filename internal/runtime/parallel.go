@@ -91,6 +91,13 @@ func (cl *Cluster) runParallel(workers int) (int64, error) {
 	oks := make([]bool, len(cl.chips))
 	for len(h) > 0 {
 		t := h[0].t
+		// Sample series before any checkpoint capture at the same barrier,
+		// so a snapshot's obs section carries the barrier's sample and a
+		// restored run resumes with identical series state.
+		if cl.seriesEvery > 0 && t >= cl.seriesNext {
+			cl.sampleSeries(t)
+			cl.seriesNext = (t/cl.seriesEvery + 1) * cl.seriesEvery
+		}
 		// Checkpoint at the window barrier once the heap minimum crosses
 		// the cadence line: every send issued before t has been flushed,
 		// no chip is faulted (a fault ends the run at its window's
@@ -186,7 +193,13 @@ func (cl *Cluster) runParallel(workers int) (int64, error) {
 			}
 		}
 	}
-	return cl.finish()
+	finish, err := cl.finish()
+	if cl.seriesEvery > 0 && err == nil {
+		// Close every series at the finish cycle so post-run analysis sees
+		// end-of-run totals without needing the flat metrics dump.
+		cl.sampleSeries(finish)
+	}
+	return finish, err
 }
 
 // stepChip advances one chip to the window horizon, clamped to the chip's

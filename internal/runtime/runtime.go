@@ -90,10 +90,16 @@ type Cluster struct {
 	endCycle      int64
 
 	// Observability (nil-safe; attached from obs.Get at construction).
+	// linkVecs/linkSlots/linkTx are lazily resolved per-link handles: the
+	// vector counter, the occupied-slot-cycle counter, and the destination-
+	// encoded span name ("c2c.tx>dst") the profiler's critical-path walk
+	// parses to follow a transfer across chips.
 	rec        *obs.Recorder
 	vectors    *obs.Counter
 	underflows *obs.Counter
 	linkVecs   map[topo.LinkID]*obs.Counter
+	linkSlots  map[topo.LinkID]*obs.Counter
+	linkTx     map[topo.LinkID]string
 
 	// Checkpointing (see checkpoint.go): capture every ckptEvery cycles at
 	// window barriers; ckptNext is the next cadence line, ckptFrom the
@@ -103,6 +109,15 @@ type Cluster struct {
 	ckptNext  int64
 	ckptFrom  int64
 	ckpts     []Stored
+
+	// Series sampling (see series.go): snapshot every registered counter
+	// and gauge into obs time series at window barriers every seriesEvery
+	// cycles; seriesNext is the next cadence line. chipDepth holds the
+	// lazily resolved per-chip mailbox-depth gauges set at each sample.
+	seriesEvery int64
+	seriesNext  int64
+	inflightG   *obs.Gauge
+	chipDepth   []*obs.Gauge
 }
 
 // defaultWorkers is the executor parallelism new clusters start with.
@@ -219,6 +234,13 @@ func New(sys *topo.System, programs []*isa.Program) (*Cluster, error) {
 		cl.vectors = rec.Counter("runtime.vectors_delivered")
 		cl.underflows = rec.Counter("runtime.receiver_underflows")
 		cl.linkVecs = map[topo.LinkID]*obs.Counter{}
+		cl.linkSlots = map[topo.LinkID]*obs.Counter{}
+		cl.linkTx = map[topo.LinkID]string{}
+		// A recorder with an armed sampling cadence opts every cluster into
+		// barrier series capture, the same way tspsim arms checkpoints.
+		if every := rec.SeriesCadence(); every > 0 {
+			cl.SetSeriesCadence(every)
+		}
 	}
 	for t := 0; t < sys.NumTSPs(); t++ {
 		var prog *isa.Program
@@ -322,17 +344,24 @@ func (cl *Cluster) deliver(src topo.TSPID, link int, v *tsp.Vector, cycle int64)
 		cl.vectors.Inc()
 		lc, ok := cl.linkVecs[l.ID]
 		if !ok {
-			// First delivery on this link: resolve its counter and name
-			// its sender-side track (pid = source chip, tid = TidLinkBase
-			// + local link index) once. Link IDs are directed, so (src,
-			// link) is fixed for a given ID and naming here covers every
-			// later delivery — the hot path pays no Sprintf.
-			lc = cl.rec.Counter("runtime.link_vectors", obs.L("link", fmt.Sprintf("L%04d", l.ID)))
+			// First delivery on this link: resolve its counters, its
+			// destination-encoded span name, and name its sender-side track
+			// (pid = source chip, tid = TidLinkBase + local link index)
+			// once. Link IDs are directed, so (src, link) is fixed for a
+			// given ID and naming here covers every later delivery — the
+			// hot path pays no Sprintf.
+			lid := obs.L("link", fmt.Sprintf("L%04d", l.ID))
+			lc = cl.rec.Counter("runtime.link_vectors", lid)
 			cl.linkVecs[l.ID] = lc
+			cl.linkSlots[l.ID] = cl.rec.Counter("runtime.link_slot_cycles", lid)
+			// "c2c.tx>dst" lets post-run analysis chain a transfer span to
+			// compute on the destination chip without a side table.
+			cl.linkTx[l.ID] = "c2c.tx>" + obs.Itoa(int(l.To))
 			cl.rec.SetThreadName(int(src), obs.TidLinkBase+link, fmt.Sprintf("link%d", link))
 		}
 		lc.Inc()
-		cl.rec.SpanCycles(int(src), obs.TidLinkBase+link, "c2c.tx", cycle, route.HopCycles)
+		cl.linkSlots[l.ID].Add(route.SlotCycles)
+		cl.rec.SpanCycles(int(src), obs.TidLinkBase+link, cl.linkTx[l.ID], cycle, route.HopCycles)
 	}
 	// Merge any scheduled fault covering this delivery. Plan events are
 	// stamped in wall cycles; this run's cycle 0 sits at cl.fbase.
@@ -480,7 +509,9 @@ func (cl *Cluster) Run() (int64, error) {
 	// worker: captures happen only at window barriers, so what a snapshot
 	// contains is a function of the cadence and the programs — never of
 	// the worker count.
-	if cl.workers > 1 || cl.ckptEvery > 0 {
+	// Likewise an armed series cadence: samples happen only at window
+	// barriers, so the sampled values are worker-invariant by construction.
+	if cl.workers > 1 || cl.ckptEvery > 0 || cl.seriesEvery > 0 {
 		return cl.RunParallel(cl.workers)
 	}
 	return cl.RunSequential()

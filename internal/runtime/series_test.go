@@ -1,0 +1,178 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/obs"
+	"repro/internal/route"
+)
+
+// seriesDump runs f under a fresh recorder with the given series cadence
+// and returns the series JSON, series CSV, trace, and metrics dumps.
+func seriesDump(t *testing.T, cadence int64, f func()) (series, csv, trace, metrics string) {
+	t.Helper()
+	prev := obs.Get()
+	r := obs.New()
+	r.SetSeriesCadence(cadence)
+	obs.Set(r)
+	defer obs.Set(prev)
+	f()
+	var sb, cb, tb, mb strings.Builder
+	if err := r.WriteSeries(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteSeriesCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteMetrics(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String(), cb.String(), tb.String(), mb.String()
+}
+
+// TestSeriesWorkerInvariance is the tentpole invariant: the barrier-
+// sampled series export — including the instantaneous mailbox-depth
+// gauges — is byte-identical across repeated runs and across worker
+// counts, on both canonical workloads. So are the trace (with its
+// "ph":"C" counter track) and the flat metrics dump.
+func TestSeriesWorkerInvariance(t *testing.T) {
+	const cadence = 2 * route.HopCycles
+	workloads := []struct {
+		name  string
+		build func(workers int) *Cluster
+	}{
+		{"ring", func(w int) *Cluster { return buildRing(t, 2, 7, 2, w) }},
+		{"pipeline", func(w int) *Cluster { return buildPipeline(t, 1, 6, 2, w) }},
+	}
+	for _, wl := range workloads {
+		t.Run(wl.name, func(t *testing.T) {
+			var ref [4]string
+			var refFinish int64
+			for i, workers := range []int{1, 1, 2, 8} {
+				var finish int64
+				s, c, tr, m := seriesDump(t, cadence, func() {
+					cl := wl.build(workers)
+					var err error
+					finish, err = cl.Run()
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+				})
+				if i == 0 {
+					ref = [4]string{s, c, tr, m}
+					refFinish = finish
+					if !strings.Contains(s, "runtime.inflight_vectors") ||
+						!strings.Contains(s, "runtime.mailbox_depth{chip=0}") ||
+						!strings.Contains(s, "tsp.busy_cycles") ||
+						!strings.Contains(s, "tsp.stall_cycles") ||
+						!strings.Contains(s, "runtime.link_slot_cycles") {
+						t.Fatalf("series export missing expected metrics:\n%.600s", s)
+					}
+					if !strings.Contains(tr, `"ph":"C"`) {
+						t.Error("trace missing series counter events")
+					}
+					continue
+				}
+				if finish != refFinish {
+					t.Errorf("workers=%d finish %d != %d", workers, finish, refFinish)
+				}
+				for j, got := range []string{s, c, tr, m} {
+					if got != ref[j] {
+						kind := []string{"series JSON", "series CSV", "trace", "metrics"}[j]
+						t.Errorf("workers=%d: %s differs from sequential run", workers, kind)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSeriesCadenceForcesWindowExecutor: arming only a series cadence (no
+// workers, no checkpoints) must still route Run through the barrier
+// executor — otherwise no samples would ever be taken.
+func TestSeriesCadenceForcesWindowExecutor(t *testing.T) {
+	prev := obs.Get()
+	r := obs.New()
+	r.SetSeriesCadence(route.HopCycles)
+	obs.Set(r)
+	defer obs.Set(prev)
+
+	cl := buildRing(t, 2, 7, 1, 1)
+	if cl.SeriesCadence() != route.HopCycles {
+		t.Fatalf("cluster did not inherit cadence from recorder: %d", cl.SeriesCadence())
+	}
+	finish, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Series("runtime.inflight_vectors", obs.PidFabric)
+	if s.Len() < 2 {
+		t.Fatalf("only %d samples recorded", s.Len())
+	}
+	// The epilogue stamps one final sample at the finish cycle.
+	st := r.State()
+	samples := st.Series["runtime.inflight_vectors"].Samples
+	if last := samples[len(samples)-1]; last.Cycle != finish {
+		t.Errorf("last sample at cycle %d, want finish %d", last.Cycle, finish)
+	}
+}
+
+// TestSeriesCheckpointRestoreEquivalence: a run restored from a mid-run
+// checkpoint finishes with a byte-identical series export — the snapshot
+// carries the series samples taken up to the capture barrier, and the
+// restored executor resumes sampling on the same grid.
+func TestSeriesCheckpointRestoreEquivalence(t *testing.T) {
+	const cadence = 650
+	prev := obs.Get()
+	r := obs.New()
+	r.SetSeriesCadence(cadence)
+	obs.Set(r)
+	straight := buildRing(t, 2, 7, 1, 1)
+	straight.SetCheckpointCadence(cadence)
+	if _, err := straight.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := r.WriteSeries(&want); err != nil {
+		t.Fatal(err)
+	}
+	store := straight.Checkpoints()
+	obs.Set(prev)
+	if len(store) < 2 {
+		t.Fatalf("straight run captured %d checkpoints", len(store))
+	}
+
+	snap, err := checkpoint.Decode(store[len(store)/2].Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Obs.Series) == 0 {
+		t.Fatal("snapshot carries no series")
+	}
+	for _, workers := range []int{1, 8} {
+		r2 := obs.New()
+		r2.LoadState(snap.Obs)
+		obs.Set(r2)
+		restored := buildRing(t, 2, 7, 1, workers)
+		restored.SetCheckpointCadence(cadence)
+		if err := restored.RestoreSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var got strings.Builder
+		if err := r2.WriteSeries(&got); err != nil {
+			t.Fatal(err)
+		}
+		obs.Set(prev)
+		if got.String() != want.String() {
+			t.Errorf("workers=%d: restored series dump differs from straight run", workers)
+		}
+	}
+}

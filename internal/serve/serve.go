@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/clock"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -115,6 +117,24 @@ func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 	rec := obs.Get()
 	var reqCount, queuedCount, replayedCount, degradedCount, shedCount *obs.Counter
 	var latHist *obs.Histogram
+	// Time-series telemetry (armed by a recorder sampling cadence): the
+	// admission-queue depth, the host backlog, and the in-flight batch
+	// estimate, sampled on a deterministic arrival stride. Each load level
+	// gets its own rate-labeled series, so the parallel saturation sweep's
+	// concurrent Run calls write disjoint series and the sorted export is
+	// identical to the sequential sweep's.
+	var depthSeries, backlogSeries, inflightSeries *obs.Series
+	sampleStride := 0
+	if rec != nil && rec.SeriesCadence() > 0 {
+		rate := obs.L("rate", strconv.FormatFloat(cfg.ArrivalRatePerSec, 'g', -1, 64))
+		depthSeries = rec.Series("serve.queue_depth", obs.PidHost, rate)
+		backlogSeries = rec.Series("serve.backlog_us", obs.PidHost, rate)
+		inflightSeries = rec.Series("serve.batch_inflight", obs.PidHost, rate)
+		sampleStride = cfg.Requests / 512
+		if sampleStride < 1 {
+			sampleStride = 1
+		}
+	}
 	if rec != nil {
 		rec.SetProcessName(obs.PidHost, "host")
 		rec.SetThreadName(obs.PidHost, serveTid, "serve")
@@ -189,6 +209,22 @@ func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 		if qHead > 1024 {
 			qStarts = append(qStarts[:0], qStarts[qHead:]...)
 			qHead = 0
+		}
+		if depthSeries != nil && i%sampleStride == 0 {
+			cyc := clock.CyclesOfUS(arrival)
+			depthSeries.Add(cyc, int64(len(qStarts)-qHead))
+			backlog := slotFree - arrival
+			if backlog < 0 {
+				backlog = 0
+			}
+			backlogSeries.Add(cyc, int64(backlog))
+			// In-flight batch: initiation slots already committed ahead of
+			// this arrival, capped at the pipeline depth.
+			inflight := int64(math.Ceil(backlog / (cfg.ServiceUS * scale)))
+			if inflight > int64(cfg.PipelineDepth) {
+				inflight = int64(cfg.PipelineDepth)
+			}
+			inflightSeries.Add(cyc, inflight)
 		}
 		if cfg.MaxQueueDepth > 0 && len(qStarts)-qHead >= cfg.MaxQueueDepth {
 			res.ShedRequests++

@@ -20,6 +20,7 @@ type UnitState struct {
 	Parked bool
 	Halted bool
 	Busy   int64
+	Stall  int64
 }
 
 // ChipState is a point-in-time copy of one chip mid-execution.
@@ -50,6 +51,7 @@ func (c *Chip) State() ChipState {
 			Parked: c.parked[u],
 			Halted: c.halted[u],
 			Busy:   c.busy[u],
+			Stall:  c.stall[u],
 		}
 	}
 	return s
@@ -64,6 +66,9 @@ func (c *Chip) SetState(s ChipState) {
 	for i := range c.streams {
 		c.byteOK[i] = true
 		c.laneOK[i] = false
+		// Drop any cached nonzero-top: New() marks every register nzOK
+		// with nzTop=0, and the restored bytes are authoritative now.
+		c.nzOK[i] = false
 	}
 	c.Weights = s.Weights
 	c.Mem.SetState(s.Mem)
@@ -73,6 +78,7 @@ func (c *Chip) SetState(s ChipState) {
 		c.parked[u] = s.Units[u].Parked
 		c.halted[u] = s.Units[u].Halted
 		c.busy[u] = s.Units[u].Busy
+		c.stall[u] = s.Units[u].Stall
 	}
 	c.fault = nil
 }

@@ -235,16 +235,22 @@ type Chip struct {
 	// runtime sets it from the hac.Device state when running multi-chip.
 	deskewDelta func(cycle int64) int64
 
-	// busy accumulates non-NOP occupancy per unit for profiling.
-	busy [isa.NumUnits]int64
+	// busy accumulates non-NOP occupancy per unit for profiling; stall
+	// accumulates cycles a unit spent waiting rather than issuing — parked
+	// on SYNC until a NOTIFY's wake, held at an epoch boundary by DESKEW,
+	// or drift-stalled by RUNTIME_DESKEW.
+	busy  [isa.NumUnits]int64
+	stall [isa.NumUnits]int64
 
 	// Observability (nil when no recorder is attached — the zero-cost
-	// default for benchmarks). instrCount/busyCycles are pre-resolved
-	// per-unit handles so the execute hot path pays no map lookups.
-	rec        *obs.Recorder
-	instrCount [isa.NumUnits]*obs.Counter
-	busyCycles [isa.NumUnits]*obs.Counter
-	faultCount *obs.Counter
+	// default for benchmarks). instrCount/busyCycles/stallCycles are
+	// pre-resolved per-unit handles so the execute hot path pays no map
+	// lookups.
+	rec         *obs.Recorder
+	instrCount  [isa.NumUnits]*obs.Counter
+	busyCycles  [isa.NumUnits]*obs.Counter
+	stallCycles [isa.NumUnits]*obs.Counter
+	faultCount  *obs.Counter
 
 	fault *Fault
 }
@@ -252,6 +258,11 @@ type Chip struct {
 // Occupancy returns each unit's busy (non-NOP, non-stall) cycles so far —
 // the dynamic utilization profile of the program.
 func (c *Chip) Occupancy() [isa.NumUnits]int64 { return c.busy }
+
+// Stalls returns each unit's accumulated wait cycles so far: time parked
+// on SYNC, held at a DESKEW epoch boundary, or drift-stalled by
+// RUNTIME_DESKEW. Busy + stall + idle partitions a unit's timeline.
+func (c *Chip) Stalls() [isa.NumUnits]int64 { return c.stall }
 
 // Utilization returns busy/finish per unit as fractions (zero before any
 // work).
@@ -403,6 +414,7 @@ func (c *Chip) AttachRecorder(rec *obs.Recorder) {
 		unit := obs.L("unit", u.String())
 		c.instrCount[u] = rec.Counter("tsp.instructions", chip, unit)
 		c.busyCycles[u] = rec.Counter("tsp.busy_cycles", chip, unit)
+		c.stallCycles[u] = rec.Counter("tsp.stall_cycles", chip, unit)
 	}
 	c.faultCount = rec.Counter("tsp.faults", chip)
 }
@@ -508,6 +520,19 @@ func (c *Chip) StepUntil(horizon int64) (int64, bool) {
 	return 0, false
 }
 
+// addStall charges a unit with wait cycles — issue-stall time the unit
+// spent parked, epoch-held, or drift-stalled instead of issuing. Zero or
+// negative waits are dropped so call sites can pass raw differences.
+func (c *Chip) addStall(u isa.Unit, cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	c.stall[u] += cycles
+	if c.rec != nil {
+		c.stallCycles[u].Add(cycles)
+	}
+}
+
 func (c *Chip) anyParked() bool {
 	for u := isa.Unit(0); u < isa.NumUnits; u++ {
 		if c.parked[u] && !c.unitDone(u) {
@@ -556,6 +581,9 @@ func (c *Chip) execute(u isa.Unit, in isa.Instruction, t int64) {
 			if c.parked[v] {
 				c.parked[v] = false
 				if c.cursor[v] < wake {
+					// The parked unit waited from its SYNC retire to the
+					// wake — operand-wait stall, attributed to the waiter.
+					c.addStall(v, wake-c.cursor[v])
 					c.cursor[v] = wake
 				}
 			}
@@ -564,6 +592,7 @@ func (c *Chip) execute(u isa.Unit, in isa.Instruction, t int64) {
 	case isa.Deskew:
 		// Pause issue until the next epoch boundary.
 		next := ((t + adv + EpochCycles - 1) / EpochCycles) * EpochCycles
+		c.addStall(u, next-(t+adv))
 		c.cursor[u] = next
 		return
 
@@ -574,6 +603,9 @@ func (c *Chip) execute(u isa.Unit, in isa.Instruction, t int64) {
 		}
 		if stall < 0 {
 			stall = 0
+		}
+		if stall > adv {
+			c.addStall(u, stall-adv)
 		}
 		c.cursor[u] = t + stall
 		return

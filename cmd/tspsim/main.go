@@ -137,6 +137,7 @@ func run(argv []string, errw io.Writer) int {
 	tracePath := fs.String("trace", "", "write a Perfetto-loadable Chrome trace JSON here")
 	metricsPath := fs.String("metrics", "", "write the flat metrics JSON here")
 	workers := fs.Int("workers", 1, "cluster executor parallelism: 1 = sequential, n>1 = deterministic window-parallel execution")
+	windowMax := fs.Int64("window-max", 0, "cap on the window-parallel executor's adaptive lookahead horizon in cycles (0 = uncapped; otherwise >= one 650-cycle hop; 650 reproduces the fixed one-hop windows)")
 	ckptEvery := fs.Int64("checkpoint-every", 0, "epoch-barrier checkpoint cadence in cycles for the recovery-ladder experiments (0 = off: replays restart from cycle 0)")
 	ckptSave := fs.String("checkpoint-save", "", "run the canonical ring workload with checkpointing and write its last snapshot to this file (skips -exp)")
 	restoreFrom := fs.String("restore-from", "", "decode the snapshot file, restore it into the canonical ring workload, and finish the run (skips -exp)")
@@ -183,6 +184,14 @@ func run(argv []string, errw io.Writer) int {
 		fmt.Fprintf(errw, "-series-every must be >= 0, got %d\n", *seriesEvery)
 		return 2
 	}
+	if *workers < 1 {
+		fmt.Fprintf(errw, "-workers must be >= 1 (1 = sequential executor), got %d\n", *workers)
+		return 2
+	}
+	if *windowMax != 0 && *windowMax < route.HopCycles {
+		fmt.Fprintf(errw, "-window-max must be >= one %d-cycle hop, or 0 for uncapped, got %d\n", route.HopCycles, *windowMax)
+		return 2
+	}
 
 	// Executor parallelism: captured by every cluster built during the
 	// experiments. Restored afterwards so in-process callers (tests) see
@@ -190,10 +199,12 @@ func run(argv []string, errw io.Writer) int {
 	workersN = *workers
 	checkpointEveryN = *ckptEvery
 	prevWorkers := rtime.SetDefaultWorkers(*workers)
+	prevWindowMax := rtime.SetDefaultWindowMax(*windowMax)
 	defer func() {
 		workersN = 1
 		checkpointEveryN = 0
 		rtime.SetDefaultWorkers(prevWorkers)
+		rtime.SetDefaultWindowMax(prevWindowMax)
 	}()
 
 	// Observability: when either output is requested, install a process-wide
@@ -1091,11 +1102,15 @@ func serveExp() error {
 // the same 16-chip ring all-reduce workload runs once on the sequential
 // min-heap executor and once window-parallel, and the results — finish
 // cycle, every stream register, the reduced sums — must match exactly.
-// The lookahead window is one C2C hop (650 cycles): a send issued inside
-// a window cannot land before the window ends, so chips within a window
-// are causally independent and free to step concurrently.
+// The lookahead window is at least one C2C hop (650 cycles): a send
+// issued inside a window cannot land before the window ends, so chips
+// within a window are causally independent and free to step concurrently.
+// The horizon is adaptive — each window extends to one hop past the
+// earliest statically possible Send — and a second, compute-heavy
+// pipeline workload shows the resulting barrier-count collapse against a
+// -window-max=650 fixed-window baseline.
 func parExp() error {
-	fmt.Println("window-parallel executor — hop-bounded conservative lookahead")
+	fmt.Println("window-parallel executor — schedule-aware adaptive lookahead")
 	sys, err := topo.New(topo.Config{Nodes: 2})
 	if err != nil {
 		return err
@@ -1122,6 +1137,10 @@ func parExp() error {
 	if workers < 2 {
 		workers = 4
 	}
+	if g := goruntime.GOMAXPROCS(0); g < workers {
+		fmt.Printf("note: GOMAXPROCS=%d < %d workers — the pool spawns only the\n", g, workers)
+		fmt.Printf("parallelism the scheduler can deliver; results are identical either way\n")
+	}
 	seq, err := build(1)
 	if err != nil {
 		return err
@@ -1133,8 +1152,11 @@ func parExp() error {
 	if err != nil {
 		return err
 	}
+	// RunParallel explicitly: this section demos the window executor, and
+	// plain Run would route a 1-core, recorder-less configuration to the
+	// sequential executor instead of timing windows.
 	t0 = time.Now()
-	parFinish, parErr := par.Run()
+	parFinish, parErr := par.RunParallel(workers)
 	parWall := time.Since(t0)
 	if seqErr != nil || parErr != nil {
 		return fmt.Errorf("par: run failed (seq=%v par=%v)", seqErr, parErr)
@@ -1156,11 +1178,14 @@ func parExp() error {
 		acc := par.Chip(c).StreamFloats(rtime.RingAcc)
 		reduced = acc[0] == sums[c/topo.TSPsPerNode]
 	}
+	ps := par.ParStats()
 	fmt.Printf("workload: %d-chip ring all-reduce, %d rounds, %d matmuls/round\n",
 		sys.NumTSPs(), rounds, matmuls)
-	fmt.Printf("lookahead window: %d cycles (one C2C hop)\n", route.HopCycles)
+	fmt.Printf("lookahead floor: %d cycles (one C2C hop), horizon adaptive\n", route.HopCycles)
 	fmt.Printf("sequential:          finish cycle %d   wall %v\n", seqFinish, seqWall)
 	fmt.Printf("parallel (%d worker): finish cycle %d   wall %v\n", workers, parFinish, parWall)
+	fmt.Printf("parallel windows: %d, mean horizon %.0f cycles, barrier time %v\n",
+		ps.Windows, meanHorizon(ps), time.Duration(ps.BarrierNS))
 	fmt.Printf("state byte-identical: %v   all-reduce sums correct: %v\n", identical, reduced)
 	if !identical || !reduced {
 		return fmt.Errorf("par: executor equivalence violated")
@@ -1168,6 +1193,70 @@ func parExp() error {
 	fmt.Println("cross-chip sends buffer per window and merge at the barrier in")
 	fmt.Println("(cycle, source, issue-order) order — the sequential interleave —")
 	fmt.Println("so counters, traces, and memories never depend on worker count")
+	return parWindowCollapse(workers)
+}
+
+// meanHorizon is the average adaptive window length of a parallel run.
+func meanHorizon(ps rtime.ParStats) float64 {
+	if ps.Windows == 0 {
+		return 0
+	}
+	return float64(ps.HorizonCycles) / float64(ps.Windows)
+}
+
+// parWindowCollapse is the adaptive-horizon headline: a compute-heavy
+// 8-stage pipeline (50 matmuls per stage, so each stage computes for
+// thousands of cycles between sends) runs once with the horizon capped at
+// the one-hop floor — the fixed-window partition — and once uncapped.
+// Results are byte-identical; only the barrier count collapses.
+func parWindowCollapse(workers int) error {
+	fmt.Println()
+	fmt.Println("adaptive-horizon window collapse — compute-heavy pipeline")
+	sys, err := topo.New(topo.Config{Nodes: 1})
+	if err != nil {
+		return err
+	}
+	const waves, matmuls = 6, 50
+	progs, err := rtime.PipelinePrograms(sys, waves, matmuls)
+	if err != nil {
+		return err
+	}
+	run := func(windowMax int64) (*rtime.Cluster, int64, error) {
+		cl, err := rtime.New(sys, progs)
+		if err != nil {
+			return nil, 0, err
+		}
+		cl.SetWorkers(workers)
+		cl.SetWindowMax(windowMax)
+		finish, err := cl.RunParallel(workers)
+		return cl, finish, err
+	}
+	fixed, fixedFinish, err := run(route.HopCycles)
+	if err != nil {
+		return err
+	}
+	adaptive, adaptiveFinish, err := run(0)
+	if err != nil {
+		return err
+	}
+	fp, ap := fixed.ParStats(), adaptive.ParStats()
+	fmt.Printf("workload: %d-stage pipeline, %d waves, %d matmuls/stage\n",
+		topo.TSPsPerNode, waves, matmuls)
+	fmt.Printf("fixed-650 windows:    %d (mean horizon %.0f cycles)   finish %d\n",
+		fp.Windows, meanHorizon(fp), fixedFinish)
+	fmt.Printf("adaptive windows:     %d (mean horizon %.0f cycles)   finish %d\n",
+		ap.Windows, meanHorizon(ap), adaptiveFinish)
+	if ap.Windows == 0 || fixedFinish != adaptiveFinish {
+		return fmt.Errorf("par: window collapse run diverged (fixed finish %d, adaptive finish %d)",
+			fixedFinish, adaptiveFinish)
+	}
+	ratio := float64(fp.Windows) / float64(ap.Windows)
+	fmt.Printf("window-count delta:   %.1fx fewer barriers, byte-identical results\n", ratio)
+	for c := 0; c < sys.NumTSPs(); c++ {
+		if fixed.Chip(c).Streams() != adaptive.Chip(c).Streams() {
+			return fmt.Errorf("par: chip %d state diverged between fixed and adaptive horizons", c)
+		}
+	}
 	return nil
 }
 

@@ -79,6 +79,36 @@ func TestNegativeCheckpointEveryRejected(t *testing.T) {
 	}
 }
 
+// TestBadWorkersRejected: zero or negative workers is a usage error, not
+// a silent fallback to sequential.
+func TestBadWorkersRejected(t *testing.T) {
+	muteStdout(t)
+	for _, w := range []string{"0", "-3"} {
+		var errw bytes.Buffer
+		if code := run([]string{"-exp", "fig11", "-workers", w}, &errw); code != 2 {
+			t.Fatalf("-workers %s: exit code = %d, want 2", w, code)
+		}
+		if !strings.Contains(errw.String(), "-workers must be >= 1") {
+			t.Errorf("-workers %s: stderr missing workers message:\n%s", w, errw.String())
+		}
+	}
+}
+
+// TestBadWindowMaxRejected: a window cap below one hop would shrink the
+// conservative lookahead floor, so anything in (0, HopCycles) is refused.
+func TestBadWindowMaxRejected(t *testing.T) {
+	muteStdout(t)
+	for _, v := range []string{"-1", "1", "649"} {
+		var errw bytes.Buffer
+		if code := run([]string{"-exp", "fig11", "-window-max", v}, &errw); code != 2 {
+			t.Fatalf("-window-max %s: exit code = %d, want 2", v, code)
+		}
+		if !strings.Contains(errw.String(), "-window-max must be >= one") {
+			t.Errorf("-window-max %s: stderr missing cap message:\n%s", v, errw.String())
+		}
+	}
+}
+
 // TestProfileReportWithoutSpansFails: -profile-report on an experiment
 // that never builds a cluster has nothing to profile and must say so.
 func TestProfileReportWithoutSpansFails(t *testing.T) {

@@ -202,9 +202,14 @@ type Recorder struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
-	events   []event
-	procs    map[int]string
-	threads  map[[2]int]string
+	// volatiles are wall-clock/host-side counters kept OUT of the
+	// deterministic registry: they never appear in State, metric dumps,
+	// or series samples, so timing-dependent values (e.g. barrier
+	// nanoseconds) can be collected without breaking byte-identical runs.
+	volatiles map[string]*Counter
+	events    []event
+	procs     map[int]string
+	threads   map[[2]int]string
 	// series and the sampling cadence live in series.go; the cadence is
 	// advisory metadata the window executor reads to schedule SampleSeries
 	// calls at barriers.
@@ -215,12 +220,13 @@ type Recorder struct {
 // New returns an empty recorder.
 func New() *Recorder {
 	return &Recorder{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
-		procs:    map[int]string{},
-		threads:  map[[2]int]string{},
-		series:   map[string]*Series{},
+		counters:  map[string]*Counter{},
+		gauges:    map[string]*Gauge{},
+		hists:     map[string]*Histogram{},
+		volatiles: map[string]*Counter{},
+		procs:     map[int]string{},
+		threads:   map[[2]int]string{},
+		series:    map[string]*Series{},
 	}
 }
 
@@ -244,6 +250,40 @@ func (r *Recorder) Counter(name string, labels ...Label) *Counter {
 	}
 	r.mu.Unlock()
 	return c
+}
+
+// VolatileCounter returns (creating on first use) a counter for
+// name+labels that is excluded from every deterministic export: State,
+// LoadState, WriteMetrics, and SampleSeries all ignore it. Use it for
+// host-side measurements (wall-clock time, allocation tallies) whose
+// values legitimately differ between byte-identical runs. VolatileValue
+// reads it back by name.
+func (r *Recorder) VolatileCounter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	r.mu.Lock()
+	c, ok := r.volatiles[k]
+	if !ok {
+		c = &Counter{}
+		r.volatiles[k] = c
+	}
+	r.mu.Unlock()
+	return c
+}
+
+// VolatileValue reads a volatile counter's current value (0 when the
+// recorder is nil or the counter was never created).
+func (r *Recorder) VolatileValue(name string, labels ...Label) int64 {
+	if r == nil {
+		return 0
+	}
+	k := key(name, labels)
+	r.mu.Lock()
+	c := r.volatiles[k]
+	r.mu.Unlock()
+	return c.Value()
 }
 
 // Gauge returns (creating on first use) the gauge for name+labels.

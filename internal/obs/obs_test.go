@@ -263,3 +263,60 @@ func TestConcurrentRecordingDeterministic(t *testing.T) {
 		t.Error("metrics dump differs between sequential and concurrent recording")
 	}
 }
+
+// TestVolatileCounterExcludedFromDeterministicExports: volatile counters
+// carry wall-clock measurements, so they must never leak into the
+// byte-identical surfaces (State, WriteMetrics, SampleSeries) and must
+// survive a LoadState that replaces the deterministic registry.
+func TestVolatileCounterExcludedFromDeterministicExports(t *testing.T) {
+	r := New()
+	r.Counter("runtime.par.windows").Add(7)
+	v := r.VolatileCounter("runtime.par.barrier_ns")
+	v.Add(12345)
+	if got := r.VolatileValue("runtime.par.barrier_ns"); got != 12345 {
+		t.Fatalf("VolatileValue = %d, want 12345", got)
+	}
+	if got := r.VolatileValue("never.created"); got != 0 {
+		t.Fatalf("VolatileValue of unknown counter = %d, want 0", got)
+	}
+	if r.VolatileCounter("runtime.par.barrier_ns") != v {
+		t.Fatal("second VolatileCounter resolved a different handle")
+	}
+
+	st := r.State()
+	if _, ok := st.Counters["runtime.par.barrier_ns"]; ok {
+		t.Fatal("volatile counter leaked into State")
+	}
+	if st.Counters["runtime.par.windows"] != 7 {
+		t.Fatal("deterministic counter missing from State")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("barrier_ns")) {
+		t.Fatal("volatile counter leaked into WriteMetrics")
+	}
+
+	r.SampleSeries(100)
+	if n := r.NumSeries(); n != 1 {
+		t.Fatalf("SampleSeries created %d series, want 1 (volatile excluded)", n)
+	}
+
+	r2 := New()
+	r2.VolatileCounter("runtime.par.barrier_ns").Add(999)
+	r2.LoadState(st)
+	if got := r2.VolatileValue("runtime.par.barrier_ns"); got != 999 {
+		t.Fatalf("LoadState disturbed volatile counter: %d, want 999", got)
+	}
+	if got := r2.Counter("runtime.par.windows").Value(); got != 7 {
+		t.Fatalf("LoadState counter = %d, want 7", got)
+	}
+
+	var nr *Recorder
+	nr.VolatileCounter("x").Add(1)
+	if nr.VolatileValue("x") != 0 {
+		t.Fatal("nil recorder volatile counter accumulated")
+	}
+}

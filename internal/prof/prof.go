@@ -112,6 +112,15 @@ type Report struct {
 	LinkCycles    int64
 	WaitCycles    int64
 
+	// Window-parallel executor statistics (zero when the run used the
+	// sequential executor): lookahead window count, summed adaptive
+	// horizons (mean horizon = ParHorizonCycles/ParWindows), chip-window
+	// occupancy events, and barriers at which runnable chips stalled.
+	ParWindows       int64
+	ParHorizonCycles int64
+	ParWindowChips   int64
+	ParBarrierStalls int64
+
 	opt Options
 }
 
@@ -177,6 +186,14 @@ func Analyze(st *obs.State, opt Options) (*Report, error) {
 	r.analyzeLinks(st)
 	r.analyzePhases(st)
 	r.analyzePath(spans)
+
+	// Window-parallel executor telemetry is plain unlabeled counters
+	// (deterministic — barrier wall time is volatile and never reaches
+	// the state dump).
+	r.ParWindows = st.Counters["runtime.par.windows"]
+	r.ParHorizonCycles = st.Counters["runtime.par.horizon_cycles"]
+	r.ParWindowChips = st.Counters["runtime.par.window_chips"]
+	r.ParBarrierStalls = st.Counters["runtime.par.barrier_stalls"]
 	return r, nil
 }
 

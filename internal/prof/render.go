@@ -62,6 +62,15 @@ func (r *Report) Render(w io.Writer) error {
 		}
 	}
 
+	if r.ParWindows > 0 {
+		fmt.Fprintf(&b, "\n-- parallel windows --\n")
+		fmt.Fprintf(&b, "windows: %d  mean horizon: %.1f cycles  mean chips/window: %.2f\n",
+			r.ParWindows,
+			float64(r.ParHorizonCycles)/float64(r.ParWindows),
+			float64(r.ParWindowChips)/float64(r.ParWindows))
+		fmt.Fprintf(&b, "barrier stalls: %d windows left runnable chips waiting\n", r.ParBarrierStalls)
+	}
+
 	if len(r.Path) > 0 {
 		fmt.Fprintf(&b, "\n-- critical path --\n")
 		fmt.Fprintf(&b, "total %d cycles = compute %d (%s) + link %d (%s) + wait %d (%s)\n",

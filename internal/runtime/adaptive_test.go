@@ -1,0 +1,403 @@
+package runtime
+
+import (
+	"bytes"
+	goruntime "runtime"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/faultplan"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/route"
+	"repro/internal/topo"
+	"repro/internal/tsp"
+)
+
+// runPar runs a cluster on the window-parallel executor with the given
+// adaptive-horizon cap (0 = uncapped, route.HopCycles = the fixed
+// partition).
+func runPar(cl *Cluster, workers int, windowMax int64) (int64, error) {
+	cl.SetWindowMax(windowMax)
+	return cl.RunParallel(workers)
+}
+
+// TestAdaptiveMatchesFixedAndSequential is the tentpole equivalence: the
+// adaptive horizon changes how many barriers a run takes and nothing
+// else. Across workloads and worker counts, sequential, fixed-650, and
+// uncapped-adaptive runs must agree on every simulated observable, and
+// the metrics dumps must agree once the partition-dependent runtime.par.*
+// window metrics are filtered.
+func TestAdaptiveMatchesFixedAndSequential(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t *testing.T, workers int) (*Cluster, []mem.Addr)
+	}{
+		{"ring/2node", func(t *testing.T, w int) (*Cluster, []mem.Addr) {
+			return buildRing(t, 2, 7, 1, w), []mem.Addr{{}}
+		}},
+		{"pipeline/heavy", func(t *testing.T, w int) (*Cluster, []mem.Addr) {
+			return buildPipeline(t, 1, 3, 50, w), []mem.Addr{{Offset: 0}, {Offset: 1}, {Offset: 2}}
+		}},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 2, 8} {
+			name := tc.name + "/w" + string(rune('0'+workers))
+			t.Run(name, func(t *testing.T) {
+				var seq, fixed, adaptive *Cluster
+				var seqF, fixF, adaF int64
+				var seqE, fixE, adaE error
+				var addrs []mem.Addr
+				_, seqM := withRecorder(t, func() {
+					seq, addrs = tc.build(t, 1)
+					seqF, seqE = seq.RunSequential()
+				})
+				_, fixM := withRecorder(t, func() {
+					fixed, _ = tc.build(t, workers)
+					fixF, fixE = runPar(fixed, workers, route.HopCycles)
+				})
+				_, adaM := withRecorder(t, func() {
+					adaptive, _ = tc.build(t, workers)
+					adaF, adaE = runPar(adaptive, workers, 0)
+				})
+				assertSameResult(t, name+"/fixed", seq, fixed, seqF, fixF, seqE, fixE, addrs)
+				assertSameResult(t, name+"/adaptive", seq, adaptive, seqF, adaF, seqE, adaE, addrs)
+				want := filterParMetrics(t, seqM)
+				if filterParMetrics(t, fixM) != want {
+					t.Errorf("%s: fixed metrics differ from sequential after filtering", name)
+				}
+				if filterParMetrics(t, adaM) != want {
+					t.Errorf("%s: adaptive metrics differ from sequential after filtering", name)
+				}
+				if fw, aw := fixed.ParStats().Windows, adaptive.ParStats().Windows; aw > fw {
+					t.Errorf("%s: adaptive took %d windows, more than fixed's %d", name, aw, fw)
+				}
+			})
+		}
+	}
+}
+
+// TestAdaptiveWindowCollapse is the issue's acceptance number: on a
+// compute-heavy pipeline (50 matmuls per stage, so stages compute for
+// ~4000 cycles between sends) the adaptive horizon must cut the window
+// count at least 5x against the fixed one-hop partition.
+func TestAdaptiveWindowCollapse(t *testing.T) {
+	fixed := buildPipeline(t, 1, 6, 50, 2)
+	fixF, err := runPar(fixed, 2, route.HopCycles)
+	if err != nil {
+		t.Fatalf("fixed run: %v", err)
+	}
+	adaptive := buildPipeline(t, 1, 6, 50, 2)
+	adaF, err := runPar(adaptive, 2, 0)
+	if err != nil {
+		t.Fatalf("adaptive run: %v", err)
+	}
+	if fixF != adaF {
+		t.Fatalf("finish differs: fixed %d, adaptive %d", fixF, adaF)
+	}
+	fw, aw := fixed.ParStats().Windows, adaptive.ParStats().Windows
+	if aw == 0 || fw < 5*aw {
+		t.Fatalf("window collapse too small: fixed %d vs adaptive %d (need >= 5x)", fw, aw)
+	}
+	// Windows need not tile the run (the next window starts at the new
+	// earliest cursor, which can sit past the previous end), so the
+	// meaningful telemetry invariant is that the mean horizon beats the
+	// fixed one-hop lookahead.
+	ps := adaptive.ParStats()
+	if ps.HorizonCycles <= aw*route.HopCycles {
+		t.Errorf("summed horizons %d over %d windows: mean does not beat the fixed %d-cycle hop",
+			ps.HorizonCycles, aw, route.HopCycles)
+	}
+}
+
+// boundaryCluster builds the sharpest causality case the adaptive horizon
+// allows: chip 0's Send issues exactly at its static bound (a RUNTIME_
+// DESKEW with Imm 0 holds the cursor, so an overestimated bound would
+// move the window end past the arrival), and chip 1 consumes the vector
+// at exactly send + HopCycles — the first legal cycle, which is also
+// exactly the window end the executor derives.
+func boundaryCluster(t *testing.T, workers int, recvAt int64) *Cluster {
+	t.Helper()
+	sys, err := topo.New(topo.Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l01, err := localLinkIndex(sys, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l10, err := localLinkIndex(sys, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := &isa.Program{}, &isa.Program{}
+	p0.AppendTo(isa.C2C, isa.Instruction{Op: isa.Nop, Imm: 100})
+	p0.AppendTo(isa.C2C, isa.Instruction{Op: isa.RuntimeDeskew, Imm: 0})
+	p0.AppendTo(isa.C2C, isa.Instruction{Op: isa.Send, A: uint16(l01), B: 5})
+	p1.AppendTo(isa.C2C, isa.Instruction{Op: isa.Nop, Imm: int32(recvAt)})
+	p1.AppendTo(isa.C2C, isa.Instruction{Op: isa.Recv, A: uint16(l10), B: 3})
+	cl, err := New(sys, []*isa.Program{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetWorkers(workers)
+	cl.Chip(0).SetStream(5, tsp.VectorOf([]float32{42, -7, 3.5}))
+	return cl
+}
+
+// TestAdaptiveBoundarySendCausality: the send issues at cycle 100 (its
+// exact bound), arrives at 750, and the adaptive window computed at the
+// first barrier ends at exactly 750 — so a Recv at 750 must land in the
+// next window and succeed, on every executor and worker count. A Recv
+// one cycle earlier must underflow identically everywhere.
+func TestAdaptiveBoundarySendCausality(t *testing.T) {
+	const arrival = 100 + int64(route.HopCycles)
+	want := tsp.VectorOf([]float32{42, -7, 3.5})
+
+	seq := boundaryCluster(t, 1, arrival)
+	seqF, seqE := seq.RunSequential()
+	if seqE != nil {
+		t.Fatalf("sequential: %v", seqE)
+	}
+	if got := seq.Chip(1).Stream(3); got != want {
+		t.Fatalf("sequential: received vector differs")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		par := boundaryCluster(t, workers, arrival)
+		parF, parE := par.RunParallel(workers)
+		assertSameResult(t, "boundary", seq, par, seqF, parF, seqE, parE, nil)
+		if got := par.Chip(1).Stream(3); got != want {
+			t.Errorf("workers=%d: received vector differs (window admitted the recv before the flush?)", workers)
+		}
+	}
+
+	// One cycle before the hop completes: the schedule lies, and every
+	// executor must report the identical underflow fault.
+	seqEarly := boundaryCluster(t, 1, arrival-1)
+	_, seqErr := seqEarly.RunSequential()
+	sf, ok := seqErr.(*tsp.Fault)
+	if !ok || sf.Kind != tsp.ErrUnderflow {
+		t.Fatalf("sequential early recv: want underflow, got %v", seqErr)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		parEarly := boundaryCluster(t, workers, arrival-1)
+		_, parErr := parEarly.RunParallel(workers)
+		pf, ok := parErr.(*tsp.Fault)
+		if !ok || pf.Kind != sf.Kind || pf.Cycle != sf.Cycle || pf.Instr != sf.Instr {
+			t.Errorf("workers=%d: fault differs: seq %v, par %v", workers, seqErr, parErr)
+		}
+	}
+}
+
+// TestFaultAtAdaptiveBarrier pins fault cycles that coincide with window
+// barriers and cadence lines: a chip scheduled to die exactly on a hop
+// boundary (and one mid-window) must yield the same error, finish, and
+// surviving state across the sequential executor and every worker count,
+// with adaptive horizons extending over the death cycle.
+func TestFaultAtAdaptiveBarrier(t *testing.T) {
+	for _, deathCycle := range []int64{2 * int64(route.HopCycles), 1955} {
+		build := func(workers int) *Cluster {
+			cl := buildRing(t, 2, 7, 1, workers)
+			plan := &faultplan.Plan{Events: []faultplan.Event{
+				{Cycle: deathCycle, Kind: faultplan.StuckChip, Chip: 3},
+			}}
+			compiled, err := plan.Compile(cl.sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl.SetFaultPlan(compiled, 0, 1)
+			return cl
+		}
+		seq := build(1)
+		seqF, seqE := seq.RunSequential()
+		if seqE == nil {
+			t.Fatalf("death at %d: expected a failover error", deathCycle)
+		}
+		// Against the sequential executor only the abandonment identity is
+		// promised on a faulted run (a window steps surviving chips to the
+		// horizon before the barrier surfaces the fault): same error, same
+		// finish cycle. Across worker counts everything must match,
+		// including the full dumps.
+		var refTrace, refMetrics string
+		var refPar *Cluster
+		for i, workers := range []int{1, 2, 8} {
+			var par *Cluster
+			var parF int64
+			var parE error
+			trace, metrics := withRecorder(t, func() {
+				par = build(workers)
+				parF, parE = par.RunParallel(workers)
+			})
+			if parF != seqF {
+				t.Errorf("death %d workers %d: finish %d != sequential %d", deathCycle, workers, parF, seqF)
+			}
+			if parE == nil || seqE.Error() != parE.Error() {
+				t.Errorf("death %d workers %d: error %v != sequential %v", deathCycle, workers, parE, seqE)
+			}
+			if i == 0 {
+				refTrace, refMetrics, refPar = trace, metrics, par
+				continue
+			}
+			if trace != refTrace || metrics != refMetrics {
+				t.Errorf("death %d workers %d: dumps differ from workers=1", deathCycle, workers)
+			}
+			assertSameResult(t, "fault-at-barrier", refPar, par, seqF, parF, seqE, parE, nil)
+		}
+	}
+}
+
+// withSeriesRecorder is withRecorder with a sampling cadence armed before
+// the cluster is built, returning the series dump too.
+func withSeriesRecorder(t *testing.T, every int64, f func()) (trace, metrics, series string) {
+	t.Helper()
+	prev := obs.Get()
+	r := obs.New()
+	r.SetSeriesCadence(every)
+	obs.Set(r)
+	defer obs.Set(prev)
+	f()
+	var tb, mb, sb bytes.Buffer
+	if err := r.WriteTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteMetrics(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteSeries(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.String(), mb.String(), sb.String()
+}
+
+// TestCheckpointCadenceMidExtendedWindow: on the compute-heavy pipeline
+// the schedule-derived horizon (~4000 cycles) dwarfs a 650-cycle
+// checkpoint cadence and a 1300-cycle series cadence. Window ends must
+// clamp to the cadence lines so every capture still fires, once per
+// line, with byte-identical dumps and blobs across worker counts — and a
+// snapshot captured mid-collapsed-phase must restore and finish to the
+// straight run's exact state.
+func TestCheckpointCadenceMidExtendedWindow(t *testing.T) {
+	const ckptEvery, seriesEvery = 650, 1300
+	build := func(workers int) *Cluster {
+		cl := buildPipeline(t, 1, 3, 50, workers)
+		cl.SetCheckpointCadence(ckptEvery)
+		return cl
+	}
+
+	var straight *Cluster
+	var sF int64
+	var sE error
+	sTrace, sMetrics, sSeries := withSeriesRecorder(t, seriesEvery, func() {
+		straight = build(1)
+		sF, sE = straight.Run()
+	})
+	if sE != nil {
+		t.Fatalf("straight run: %v", sE)
+	}
+	store := append([]Stored(nil), straight.Checkpoints()...)
+	// Cadence clamping means one capture per 650-cycle line over the whole
+	// run — a skipped line would show up as a short store.
+	if wantMin := int(sF/ckptEvery) - 1; len(store) < wantMin {
+		t.Fatalf("%d checkpoints for a %d-cycle run at cadence %d (cadence lines skipped inside extended windows?)",
+			len(store), sF, ckptEvery)
+	}
+
+	for _, workers := range []int{2, 8} {
+		var par *Cluster
+		var pF int64
+		var pE error
+		pTrace, pMetrics, pSeries := withSeriesRecorder(t, seriesEvery, func() {
+			par = build(workers)
+			pF, pE = par.Run()
+		})
+		if pTrace != sTrace || pMetrics != sMetrics || pSeries != sSeries {
+			t.Errorf("workers=%d: dumps differ from workers=1", workers)
+		}
+		assertSameResult(t, "ckpt-mid-window", straight, par, sF, pF, sE, pE,
+			[]mem.Addr{{Offset: 0}, {Offset: 1}, {Offset: 2}})
+		got := par.Checkpoints()
+		if len(got) != len(store) {
+			t.Fatalf("workers=%d: %d checkpoints, want %d", workers, len(got), len(store))
+		}
+		for i := range store {
+			if !bytes.Equal(got[i].Blob, store[i].Blob) {
+				t.Errorf("workers=%d: checkpoint %d blob differs", workers, i)
+			}
+		}
+	}
+
+	// Restore from a mid-run snapshot (inside the collapsed compute phase)
+	// and finish: state must match the straight run exactly.
+	mid := store[len(store)/2]
+	snap, err := checkpoint.Decode(mid.Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored *Cluster
+	var rF int64
+	var rE error
+	rTrace, rMetrics := withPrimedRecorder(t, snap.Obs, func() {
+		restored = build(8)
+		if err := restored.RestoreSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+		rF, rE = restored.Run()
+	})
+	_ = rTrace
+	_ = rMetrics
+	assertSameResult(t, "restore-mid-window", straight, restored, sF, rF, sE, rE,
+		[]mem.Addr{{Offset: 0}, {Offset: 1}, {Offset: 2}})
+}
+
+// TestAdaptivePoolUnderRealParallelism raises GOMAXPROCS so the
+// persistent worker pool actually spawns (the pool sizes itself to
+// min(workers, GOMAXPROCS)-1 and runs inline on a single-proc host) and
+// checks executor equivalence with live cross-thread handoff; under
+// -race this is the memory-model audit of the round protocol.
+func TestAdaptivePoolUnderRealParallelism(t *testing.T) {
+	prev := goruntime.GOMAXPROCS(4)
+	defer goruntime.GOMAXPROCS(prev)
+
+	seqR := buildRing(t, 2, 7, 1, 1)
+	seqRF, seqRE := seqR.RunSequential()
+	parR := buildRing(t, 2, 7, 1, 4)
+	parRF, parRE := parR.RunParallel(4)
+	assertSameResult(t, "pool/ring", seqR, parR, seqRF, parRF, seqRE, parRE, []mem.Addr{{}})
+
+	seqP := buildPipeline(t, 1, 6, 50, 1)
+	seqPF, seqPE := seqP.RunSequential()
+	parP := buildPipeline(t, 1, 6, 50, 4)
+	parPF, parPE := parP.RunParallel(4)
+	assertSameResult(t, "pool/pipeline", seqP, parP, seqPF, parPF, seqPE, parPE,
+		[]mem.Addr{{Offset: 0}, {Offset: 1}})
+}
+
+// TestSingleChipWindowRunsToCompletion pins the len(heap)==1 fast path:
+// the last runnable chip gets an unbounded horizon (no other chip can
+// ever consume what it sends), and the recorded horizon telemetry stays
+// finite — the final window reports how far the chip actually ran.
+func TestSingleChipWindowRunsToCompletion(t *testing.T) {
+	sys, err := topo.New(topo.Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &isa.Program{}
+	p.AppendTo(isa.MXM, isa.Instruction{Op: isa.MatMul, Imm: 5000})
+	p.AppendTo(isa.MXM, isa.Instruction{Op: isa.MatMul, Imm: 5000})
+	cl, err := New(sys, []*isa.Program{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish, err := cl.RunParallel(2)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ps := cl.ParStats()
+	if ps.Windows != 1 {
+		t.Errorf("single-chip run took %d windows, want 1", ps.Windows)
+	}
+	if ps.HorizonCycles != finish {
+		t.Errorf("horizon telemetry %d != finish %d (MaxInt64 leak?)", ps.HorizonCycles, finish)
+	}
+}

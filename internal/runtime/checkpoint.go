@@ -8,7 +8,10 @@
 // the cadence line and every pending send from earlier windows has been
 // flushed into the mailboxes. At that instant the mailbox queues ARE the
 // complete in-flight link state, which is what makes the snapshot a
-// closed restart point rather than a drain protocol.
+// closed restart point rather than a drain protocol. The adaptive
+// horizon preserves this: windowEnd clamps every window to the next
+// armed cadence line, so an extended quiet-phase window can never step
+// chips past a due capture (TestCheckpointCadenceMidExtendedWindow).
 //
 // The counter circularity — `checkpoint.bytes` must itself appear in the
 // snapshot's obs section — is resolved by a fixed capture order: encode

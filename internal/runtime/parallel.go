@@ -1,14 +1,25 @@
-// Conservative window-parallel cluster execution.
+// Conservative window-parallel cluster execution with adaptive horizons.
 //
 // The paper's machine gives the simulator the same gift it gives the
 // compiler: cross-chip effects propagate only over C2C links, and a link
 // hop costs exactly route.HopCycles. A vector sent at cycle c is invisible
 // to every receiver before c + HopCycles, so any two chips whose pending
-// instructions all fall inside one lookahead window [t, t+HopCycles) are
-// causally independent for the duration of that window — they may execute
+// instructions all fall inside one lookahead window are causally
+// independent for the duration of that window — they may execute
 // concurrently, in any interleaving, and produce exactly the state the
 // sequential executor produces. This is classic conservative parallel
 // discrete-event simulation with the hop latency as the lookahead bound.
+//
+// The lookahead is not fixed at one hop. Because every Send/Transmit sits
+// in a statically scheduled program, each chip can lower-bound the cycle of
+// its next cross-chip transfer from its program cursors alone
+// (tsp.Chip.NextSendBound). If no runnable chip can issue a transfer
+// before cycle S, nothing can arrive anywhere before S + HopCycles, and
+// the window may extend to that bound: compute-heavy quiet phases collapse
+// from hundreds of one-hop barriers into one. SetWindowMax caps the
+// extension; an armed checkpoint/series cadence clamps window ends to the
+// next cadence line so barrier-anchored captures keep firing once per
+// line, worker-invariantly.
 //
 // Determinism is preserved by construction, not by scheduling luck:
 //
@@ -19,8 +30,20 @@
 //     exact order the sequential executor would have delivered them. Every
 //     directed link has a single sender, so per-link delivery order (and
 //     with it the per-link FEC error RNG stream) is reproduced bit-for-bit.
+//     Each per-source buffer is already cycle-sorted (a chip issues in
+//     nondecreasing cycle order), so the barrier runs a k-way merge over
+//     reused buffers instead of allocating and sorting a global list.
 //   - Shared observability is atomic counters plus a sorted trace export,
 //     so dumps depend on the multiset of events, not the interleaving.
+//
+// Workers are a persistent pool (one goroutine per worker for the life of
+// the run, work handed out by an atomic index), created only when
+// GOMAXPROCS actually offers parallelism — at GOMAXPROCS=1 the executor
+// runs the window loop inline, and on a clean fabric (no recorder, no
+// fault plan, no BER) it skips send buffering entirely and delivers
+// in-place, which is observably identical there: in-window sends arrive at
+// or after the window end, per-link order is the single sender's own cycle
+// order, and the clean deliver path touches nothing else.
 //
 // The result: finish cycles, memories, fault identities, counters, and
 // exported dumps are byte-identical across worker counts, including the
@@ -28,9 +51,11 @@
 package runtime
 
 import (
-	"sort"
+	"math"
+	goruntime "runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/route"
@@ -46,11 +71,13 @@ type pendingSend struct {
 	v     tsp.Vector
 }
 
-// pendRef addresses one buffered send for the merge sort without copying
-// its 320-byte payload.
-type pendRef struct {
-	src int
-	j   int
+// mergeEnt is one source's head position in the barrier's k-way merge:
+// the cycle of pend[src][j], carried so the heap never chases the 320-byte
+// payloads while sifting.
+type mergeEnt struct {
+	cycle int64
+	src   int32
+	j     int32
 }
 
 // RunParallel executes the cluster with the window-parallel executor on
@@ -68,19 +95,24 @@ func (cl *Cluster) runParallel(workers int) (int64, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	const window = int64(route.HopCycles)
 
 	// Window metrics (nil-safe when no recorder is installed). The values
 	// depend only on the window partition, which is a function of the
-	// programs — not of the worker count or thread scheduling.
+	// programs and the configured horizon cap — not of the worker count or
+	// thread scheduling. barrier_ns is wall time and therefore volatile:
+	// it lives outside the deterministic registry (no State/metrics/series
+	// export) so dumps stay byte-identical across machines and runs.
 	windowsC := cl.rec.Counter("runtime.par.windows")
 	windowChipsC := cl.rec.Counter("runtime.par.window_chips")
+	horizonC := cl.rec.Counter("runtime.par.horizon_cycles")
 	stallsC := cl.rec.Counter("runtime.par.barrier_stalls")
 	stalledC := cl.rec.Counter("runtime.par.barrier_stalled_chips")
 	occH := cl.rec.Histogram("runtime.par.window_occupancy", 0, 1, 65)
+	barrierNS := cl.rec.VolatileCounter("runtime.par.barrier_ns")
 	if cl.rec != nil {
 		cl.rec.SetThreadName(obs.PidFabric, 1, "parallel windows")
 	}
+	cl.parWindows, cl.parHorizon, cl.parBarrierNS = 0, 0, 0
 
 	if cl.pend == nil {
 		cl.pend = make([][]pendingSend, len(cl.chips))
@@ -89,6 +121,20 @@ func (cl *Cluster) runParallel(workers int) (int64, error) {
 	active := make([]int, 0, len(cl.chips))
 	nexts := make([]int64, len(cl.chips))
 	oks := make([]bool, len(cl.chips))
+
+	// Spawn the persistent pool only for parallelism the scheduler can
+	// actually deliver: the window loop itself drains work too, so n is
+	// the number of *extra* hands. At GOMAXPROCS=1 that is zero and every
+	// window runs inline with no handoff at all.
+	var pool *parPool
+	if n := min(workers, goruntime.GOMAXPROCS(0)) - 1; n > 0 {
+		pool = newParPool(cl, n, nexts, oks)
+		defer pool.stop()
+	}
+	// On a clean fabric single-threaded delivery commutes with the barrier
+	// merge (see the package comment), so skip the buffer-and-merge copy.
+	direct := pool == nil && cl.rec == nil && cl.fplan == nil && cl.ber == 0
+
 	for len(h) > 0 {
 		t := h[0].t
 		// Sample series before any checkpoint capture at the same barrier,
@@ -105,7 +151,7 @@ func (cl *Cluster) runParallel(workers int) (int64, error) {
 		if cl.ckptEvery > 0 && t >= cl.ckptNext {
 			cl.captureCheckpoint(t)
 		}
-		end := t + window
+		end := cl.windowEnd(t, h)
 		// Drain every chip whose next issue falls inside [t, end). By the
 		// NextIssue monotonicity contract a chip left in the heap cannot
 		// issue before end, so excluding it from this window is safe.
@@ -121,6 +167,7 @@ func (cl *Cluster) runParallel(workers int) (int64, error) {
 			active = append(active, e.idx)
 		}
 		windowsC.Inc()
+		cl.parWindows++
 		windowChipsC.Add(int64(len(active)))
 		occH.Add(float64(len(active)))
 		if len(h) > 0 {
@@ -129,38 +176,17 @@ func (cl *Cluster) runParallel(workers int) (int64, error) {
 			stallsC.Inc()
 			stalledC.Add(int64(len(h)))
 		}
-		if cl.rec != nil {
-			cl.rec.SpanCycles(obs.PidFabric, 1, "runtime.par.window", t, window)
-		}
 
-		// Step every active chip to the window horizon, buffering sends.
-		cl.buffering = true
-		if workers == 1 || len(active) == 1 {
+		// Step every active chip to the window horizon, buffering sends
+		// (unless single-threaded on a clean fabric, where direct delivery
+		// is equivalent).
+		cl.buffering = !direct
+		if pool == nil || len(active) == 1 {
 			for _, i := range active {
 				nexts[i], oks[i] = cl.stepChip(i, end)
 			}
 		} else {
-			w := workers
-			if w > len(active) {
-				w = len(active)
-			}
-			var cursor atomic.Int64
-			var wg sync.WaitGroup
-			wg.Add(w)
-			for k := 0; k < w; k++ {
-				go func() {
-					defer wg.Done()
-					for {
-						j := int(cursor.Add(1)) - 1
-						if j >= len(active) {
-							return
-						}
-						i := active[j]
-						nexts[i], oks[i] = cl.stepChip(i, end)
-					}
-				}()
-			}
-			wg.Wait()
+			pool.run(active, end)
 		}
 		cl.buffering = false
 
@@ -184,14 +210,39 @@ func (cl *Cluster) runParallel(workers int) (int64, error) {
 			return cl.chips[fi].FinishCycle(), cl.chips[fi].Fault()
 		}
 
+		// Horizon telemetry after the step so the final, unbounded window
+		// can report how far the chips actually ran instead of MaxInt64.
+		wlen := end - t
+		if end == math.MaxInt64 {
+			wlen = 0
+			for _, i := range active {
+				if f := cl.chips[i].FinishCycle(); f-t > wlen {
+					wlen = f - t
+				}
+			}
+		}
+		horizonC.Add(wlen)
+		cl.parHorizon += wlen
+		if cl.rec != nil {
+			cl.rec.SpanCycles(obs.PidFabric, 1, "runtime.par.window", t, wlen)
+		}
+
 		// Merge the window's sends in deterministic order, then requeue
-		// the chips that still have work.
-		cl.flushPending()
+		// the chips that still have work. This serial section is the
+		// per-barrier cost the adaptive horizon amortizes; it is timed
+		// (wall clock, volatile) so the profiler can attribute it.
+		start := time.Now()
+		if !direct {
+			cl.flushPending()
+		}
 		for _, i := range active {
 			if oks[i] {
 				h.push(chipHeapEntry{t: nexts[i], idx: i})
 			}
 		}
+		ns := time.Since(start).Nanoseconds()
+		barrierNS.Add(ns)
+		cl.parBarrierNS += ns
 	}
 	finish, err := cl.finish()
 	if cl.seriesEvery > 0 && err == nil {
@@ -200,6 +251,66 @@ func (cl *Cluster) runParallel(workers int) (int64, error) {
 		cl.sampleSeries(finish)
 	}
 	return finish, err
+}
+
+// windowEnd computes the current window's horizon: at least one hop past
+// the barrier, extended to one hop past the earliest cycle at which any
+// runnable chip could issue a cross-chip transfer (a send at s >= S
+// arrives at s + HopCycles >= end, so nothing sent inside the window is
+// consumable inside it), capped by SetWindowMax, and clamped to the next
+// checkpoint/series cadence line so barrier-anchored captures fire exactly
+// once per line. Always > t: the cap is >= one hop and both cadence lines
+// are > t after the top-of-loop capture checks.
+func (cl *Cluster) windowEnd(t int64, h chipHeap) int64 {
+	end := t + int64(route.HopCycles)
+	if len(h) == 1 {
+		// A single runnable chip: any send it issues lands on a chip that
+		// finished or parked for good (chips never rejoin the heap — a
+		// NOTIFY only wakes units on its own chip), so no transfer it makes
+		// is ever consumed. Run it to completion.
+		end = math.MaxInt64
+	} else {
+		earliest := int64(math.MaxInt64)
+		for i := range h {
+			e := h[i]
+			if cl.death != nil && e.t >= cl.death[e.idx] {
+				// Scheduled dead on its next issue: it never sends again.
+				continue
+			}
+			b, ok := cl.chips[e.idx].NextSendBound()
+			if !ok {
+				continue
+			}
+			if cl.death != nil && b >= cl.death[e.idx] {
+				// The next possible send sits at or past the chip's death
+				// cycle, so it never executes either.
+				continue
+			}
+			if b < earliest {
+				earliest = b
+				if earliest <= t {
+					break // cannot extend past the one-hop floor
+				}
+			}
+		}
+		if earliest == math.MaxInt64 {
+			end = math.MaxInt64
+		} else if x := earliest + int64(route.HopCycles); x > end {
+			end = x
+		}
+	}
+	if cl.windowMax > 0 {
+		if c := t + cl.windowMax; end > c || end == math.MaxInt64 {
+			end = c
+		}
+	}
+	if cl.ckptEvery > 0 && end > cl.ckptNext {
+		end = cl.ckptNext
+	}
+	if cl.seriesEvery > 0 && end > cl.seriesNext {
+		end = cl.seriesNext
+	}
+	return end
 }
 
 // stepChip advances one chip to the window horizon, clamped to the chip's
@@ -212,35 +323,148 @@ func (cl *Cluster) stepChip(i int, end int64) (int64, bool) {
 	return cl.chips[i].StepUntil(end)
 }
 
-// flushPending delivers every buffered send in ascending (cycle, source
-// chip, issue order) — the order a sequential run interleaves them — and
-// resets the buffers. Runs single-threaded at the window barrier, so the
-// lazily built per-link FEC models, their RNG streams, and the MBE/
-// Corrected tallies behave exactly as in sequential delivery.
-func (cl *Cluster) flushPending() {
-	total := 0
-	for i := range cl.pend {
-		total += len(cl.pend[i])
+// parPool is the persistent worker pool: one goroutine per extra worker
+// for the life of the run, so a window costs one token send and one
+// WaitGroup wait instead of spawning goroutines. Work is handed out by an
+// atomic index over the window's active list; the caller drains too, so a
+// one-chip window never pays a handoff at all (the window loop skips the
+// pool entirely in that case).
+type parPool struct {
+	cl     *Cluster
+	nexts  []int64
+	oks    []bool
+	work   chan struct{}
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	active []int
+	end    int64
+	cursor atomic.Int64
+}
+
+func newParPool(cl *Cluster, n int, nexts []int64, oks []bool) *parPool {
+	p := &parPool{cl: cl, nexts: nexts, oks: oks,
+		work: make(chan struct{}, n), quit: make(chan struct{})}
+	for k := 0; k < n; k++ {
+		go p.worker()
 	}
-	if total == 0 {
-		return
-	}
-	refs := make([]pendRef, 0, total)
-	for src := range cl.pend {
-		for j := range cl.pend[src] {
-			refs = append(refs, pendRef{src: src, j: j})
+	return p
+}
+
+func (p *parPool) worker() {
+	for {
+		// The token receive happens-after run's round-state writes, and
+		// wg.Done happens-before the caller's wg.Wait reads of nexts/oks —
+		// the two memory-model edges the round protocol needs.
+		select {
+		case <-p.quit:
+			return
+		case <-p.work:
+			p.drain()
+			p.wg.Done()
 		}
 	}
-	// refs is already ordered by (src, issue order); a stable sort by
-	// cycle yields (cycle, src, issue order).
-	sort.SliceStable(refs, func(a, b int) bool {
-		return cl.pend[refs[a].src][refs[a].j].cycle < cl.pend[refs[b].src][refs[b].j].cycle
-	})
-	for _, r := range refs {
-		p := &cl.pend[r.src][r.j]
-		cl.deliver(topo.TSPID(r.src), p.link, &p.v, p.cycle)
+}
+
+// drain claims chips off the shared cursor until the round is exhausted.
+func (p *parPool) drain() {
+	for {
+		j := int(p.cursor.Add(1)) - 1
+		if j >= len(p.active) {
+			return
+		}
+		i := p.active[j]
+		p.nexts[i], p.oks[i] = p.cl.stepChip(i, p.end)
+	}
+}
+
+// run executes one window round: publish the round state, wake at most
+// len(active)-1 helpers (the caller is a worker too), drain alongside
+// them, and wait for the stragglers.
+func (p *parPool) run(active []int, end int64) {
+	p.active, p.end = active, end
+	p.cursor.Store(0)
+	wake := cap(p.work)
+	if m := len(active) - 1; wake > m {
+		wake = m
+	}
+	p.wg.Add(wake)
+	for k := 0; k < wake; k++ {
+		p.work <- struct{}{}
+	}
+	p.drain()
+	p.wg.Wait()
+}
+
+func (p *parPool) stop() { close(p.quit) }
+
+// flushPending delivers every buffered send in ascending (cycle, source
+// chip, issue order) — the order a sequential run interleaves them — and
+// resets the buffers. Each per-source buffer is already cycle-sorted (a
+// chip issues in nondecreasing cycle order within a window), so this is a
+// k-way merge over source heads on a reused entry heap: no allocation, no
+// comparison sort, no payload copies while sifting. Runs single-threaded
+// at the window barrier, so the lazily built per-link FEC models, their
+// RNG streams, and the MBE/Corrected tallies behave exactly as in
+// sequential delivery.
+func (cl *Cluster) flushPending() {
+	m := cl.merge[:0]
+	for src := range cl.pend {
+		if len(cl.pend[src]) > 0 {
+			m = append(m, mergeEnt{cycle: cl.pend[src][0].cycle, src: int32(src)})
+		}
+	}
+	if len(m) == 0 {
+		cl.merge = m
+		return
+	}
+	// Seeded in ascending src order with j=0, so sift stability on equal
+	// cycles resolves to the lowest source chip — the sequential tie-break.
+	for i := len(m)/2 - 1; i >= 0; i-- {
+		mergeSift(m, i)
+	}
+	for len(m) > 0 {
+		e := &m[0]
+		p := &cl.pend[e.src][e.j]
+		cl.deliver(topo.TSPID(e.src), p.link, &p.v, p.cycle)
+		if nj := e.j + 1; int(nj) < len(cl.pend[e.src]) {
+			e.j = nj
+			e.cycle = cl.pend[e.src][nj].cycle
+		} else {
+			m[0] = m[len(m)-1]
+			m = m[:len(m)-1]
+		}
+		mergeSift(m, 0)
 	}
 	for i := range cl.pend {
 		cl.pend[i] = cl.pend[i][:0]
+	}
+	cl.merge = m[:0]
+}
+
+// mergeLess orders merge entries by (cycle, src); within one source the
+// buffer's own index order is issue order already.
+func mergeLess(a, b mergeEnt) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
+	}
+	return a.src < b.src
+}
+
+// mergeSift restores the min-heap property downward from index i.
+func mergeSift(m []mergeEnt, i int) {
+	n := len(m)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && mergeLess(m[l], m[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && mergeLess(m[r], m[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		m[i], m[least] = m[least], m[i]
+		i = least
 	}
 }

@@ -17,6 +17,7 @@ package runtime
 import (
 	"fmt"
 	"math"
+	goruntime "runtime"
 
 	"repro/internal/c2c"
 	"repro/internal/faultplan"
@@ -59,8 +60,20 @@ type Cluster struct {
 	// is executing on the worker pool, chipC2C routes sends into pend
 	// (indexed by source chip, touched only by that chip's worker) instead
 	// of delivering them; the barrier merges them in deterministic order.
+	// merge is the barrier's reused k-way merge heap.
 	buffering bool
 	pend      [][]pendingSend
+	merge     []mergeEnt
+
+	// windowMax caps the adaptive window horizon (cycles per window;
+	// 0 = uncapped), captured from the package default at construction.
+	// parWindows/parHorizon/parBarrierNS accumulate the most recent
+	// parallel run's window count, summed horizon cycles, and wall-clock
+	// barrier time (see ParStats).
+	windowMax    int64
+	parWindows   int64
+	parHorizon   int64
+	parBarrierNS int64
 
 	// Link error process (§4.5): every delivered vector passes through
 	// the frame FEC; single-bit errors are corrected in situ without
@@ -133,6 +146,22 @@ func SetDefaultWorkers(n int) int {
 		n = 1
 	}
 	defaultWorkers = n
+	return prev
+}
+
+// defaultWindowMax is the adaptive-horizon cap new clusters start with:
+// 0 means uncapped (the schedule-derived bound alone limits the window).
+// Like defaultWorkers it is read at construction time only.
+var defaultWindowMax = int64(0)
+
+// SetDefaultWindowMax sets the window cap future New calls capture.
+// n < 1 is treated as 0 (uncapped). Returns the previous value.
+func SetDefaultWindowMax(n int64) int64 {
+	prev := defaultWindowMax
+	if n < 1 {
+		n = 0
+	}
+	defaultWindowMax = n
 	return prev
 }
 
@@ -228,7 +257,7 @@ func New(sys *topo.System, programs []*isa.Program) (*Cluster, error) {
 	if len(programs) > sys.NumTSPs() {
 		return nil, fmt.Errorf("runtime: %d programs for %d TSPs", len(programs), sys.NumTSPs())
 	}
-	cl := &Cluster{sys: sys, workers: defaultWorkers, firstMBECycle: -1}
+	cl := &Cluster{sys: sys, workers: defaultWorkers, windowMax: defaultWindowMax, firstMBECycle: -1}
 	if rec := obs.Get(); rec != nil {
 		cl.rec = rec
 		cl.vectors = rec.Counter("runtime.vectors_delivered")
@@ -307,6 +336,38 @@ func (cl *Cluster) SetWorkers(n int) {
 
 // Workers reports the configured executor parallelism.
 func (cl *Cluster) Workers() int { return cl.workers }
+
+// SetWindowMax caps the window-parallel executor's adaptive horizon at n
+// cycles per window (n < 1 = uncapped). Setting it to route.HopCycles
+// reproduces the fixed one-hop window partition exactly. The cap changes
+// only wall-clock behavior and the runtime.par.* window telemetry — every
+// simulated observable is byte-identical at any cap.
+func (cl *Cluster) SetWindowMax(n int64) {
+	if n < 1 {
+		n = 0
+	}
+	cl.windowMax = n
+}
+
+// WindowMax reports the configured adaptive-horizon cap (0 = uncapped).
+func (cl *Cluster) WindowMax() int64 { return cl.windowMax }
+
+// ParStats summarizes the most recent window-parallel run: how many
+// lookahead windows it took, the summed window horizons (so mean horizon
+// = HorizonCycles/Windows), and the wall-clock nanoseconds spent in the
+// serial barrier sections (merge + requeue). Windows and HorizonCycles
+// are deterministic; BarrierNS is wall time and varies run to run.
+type ParStats struct {
+	Windows       int64
+	HorizonCycles int64
+	BarrierNS     int64
+}
+
+// ParStats reports the most recent RunParallel's window statistics
+// (zeroes if only the sequential executor has run).
+func (cl *Cluster) ParStats() ParStats {
+	return ParStats{Windows: cl.parWindows, HorizonCycles: cl.parHorizon, BarrierNS: cl.parBarrierNS}
+}
 
 // Chip returns TSP t's chip model (for loading data and reading results).
 func (cl *Cluster) Chip(t int) *tsp.Chip { return cl.chips[t] }
@@ -511,8 +572,23 @@ func (cl *Cluster) Run() (int64, error) {
 	// the worker count.
 	// Likewise an armed series cadence: samples happen only at window
 	// barriers, so the sampled values are worker-invariant by construction.
-	if cl.workers > 1 || cl.ckptEvery > 0 || cl.seriesEvery > 0 {
+	if cl.ckptEvery > 0 || cl.seriesEvery > 0 {
 		return cl.RunParallel(cl.workers)
+	}
+	if cl.workers > 1 {
+		// Windows only earn their keep when something observes the
+		// barriers. With no extra OS-level parallelism to hand the pool,
+		// no recorder wanting window metrics, and no fault machinery, the
+		// window executor produces byte-identical results to the
+		// sequential one (that equivalence is this package's enforced
+		// invariant) while paying global-barrier scheduling for nothing —
+		// the sequential executor's per-chip sliding lookahead batches
+		// strictly better. Route there; RunParallel remains available for
+		// callers that explicitly want the window machinery.
+		if min(cl.workers, goruntime.GOMAXPROCS(0)) > 1 ||
+			cl.rec != nil || cl.fplan != nil || cl.ber != 0 {
+			return cl.RunParallel(cl.workers)
+		}
 	}
 	return cl.RunSequential()
 }

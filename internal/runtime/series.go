@@ -9,7 +9,9 @@
 // commute) and the mailbox queues ARE the in-flight link state, so the
 // instantaneous queue-depth gauges set here — which would be
 // executor-order-dependent anywhere else — are byte-identical across
-// worker counts.
+// worker counts. Like checkpoint capture, sampling survives the adaptive
+// horizon because windowEnd clamps every window to the next armed
+// cadence line before stepping any chip.
 package runtime
 
 import "repro/internal/obs"

@@ -231,6 +231,12 @@ type Chip struct {
 	parked [isa.NumUnits]bool
 	halted [isa.NumUnits]bool
 
+	// sendGap[u][k] lower-bounds the cursor advance from pc=k to the unit's
+	// next Send/Transmit (see sendscan.go). Purely a function of the static
+	// program, so it survives SetState restores unchanged; NextSendBound
+	// gives the cluster executor its adaptive PDES lookahead.
+	sendGap [isa.NumUnits][]int64
+
 	// deskewDelta is the SAC−HAC drift applied by RUNTIME_DESKEW; the
 	// runtime sets it from the hac.Device state when running multi-chip.
 	deskewDelta func(cycle int64) int64
@@ -286,6 +292,7 @@ func New(id int, prog *isa.Program, c2c C2C) *Chip {
 	for u := range c.slen {
 		c.slen[u] = len(prog.Streams[u])
 	}
+	c.sendGap = buildSendGaps(prog)
 	for i := range c.streams {
 		// Zero bytes and zero lanes agree, so both views start valid; the
 		// all-zero vector's nonzero summary is 0.

@@ -25,6 +25,7 @@
 //	tspsim -exp par      window-parallel executor equivalence + speedup
 //	tspsim -exp checkpoint  epoch checkpointing: resume cost vs cycle-0 replay
 //	tspsim -exp profile  flight-recorder series + critical-path profiler
+//	tspsim -exp fleet    fleet-level SLO: months of incidents across N systems
 //
 // The -workers flag sets the cluster executor parallelism for every
 // experiment: 1 (default) is the sequential executor, n > 1 the
@@ -121,6 +122,7 @@ var experiments = []struct {
 	{"checkpoint", "epoch checkpointing: resume cost vs cycle-0 replay", checkpointExp},
 	{"hotpath", "executor hot-loop throughput (sim-cycles per wall-second)", hotpath},
 	{"profile", "flight-recorder series and critical-path profiler", profileExp},
+	{"fleet", "fleet-level SLO: months of incidents across N systems", fleetExp},
 }
 
 func main() {

@@ -1,0 +1,459 @@
+// Package fleet is the §4.5 reliability story composed end to end: N
+// multi-TSP systems serve one shared open-loop request stream over
+// months of simulated time, each system failing on its own seeded
+// MTBF-driven incident schedule (internal/faultplan's semantics through
+// workloads.FaultProfile — replay, N+1 failover, post-spare capacity
+// loss, checkpoint-shortened stalls), while a load balancer routes
+// arriving requests across healthy systems and a policy layer reacts to
+// stalls and spare exhaustion (drain-and-redistribute, standby spare
+// activation, optional shed-first). The output is an SLOReport: rolling
+// 99.9/99.99 attainment, TTFB-style latency percentiles, error/shed
+// budgets, and per-system availability — the fleet-scale SLO number every
+// per-cluster robustness mechanism in this repo ultimately feeds.
+//
+// Determinism contract: everything is drawn from sim.RNG streams forked
+// off one seed by stable identifiers — system i's fault schedule from
+// Fork(sysStreamBase+i), the arrival process and traffic mix from their
+// own streams — so repeated runs, and runs that fork the streams in any
+// order, produce byte-identical SLOReport JSON.
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Fork identifiers: per-system fault schedules fork at sysStreamBase+i,
+// the shared arrival and traffic-mix streams at fixed ids far away.
+const (
+	arrivalStream uint64 = 1 << 40
+	mixStream     uint64 = 1<<40 + 1
+	sysStreamBase uint64 = 0
+)
+
+// TrafficClass is one slice of the arrival stream: Share of requests
+// whose service time is ServiceMult times the system's base ServiceUS
+// (e.g. interactive short sequences vs long batch scoring).
+type TrafficClass struct {
+	Name        string  `json:"name"`
+	Share       float64 `json:"share"`
+	ServiceMult float64 `json:"service_mult"`
+}
+
+// Config describes a fleet scenario.
+type Config struct {
+	// Systems is the number of active systems at t=0.
+	Systems int
+	// Standby is the pool of powered-off spare systems the policy layer
+	// can activate when an active system sheds capacity.
+	Standby int
+	// ServiceUS and PipelineDepth describe each system's compiled
+	// deployment (one inference's initiation interval and the in-flight
+	// depth), identical across the fleet.
+	ServiceUS     float64
+	PipelineDepth int
+	// ArrivalRatePerSec is the fleet-wide open-loop offered load.
+	ArrivalRatePerSec float64
+	// HorizonDays is the simulated span.
+	HorizonDays float64
+	// Seed drives every stochastic stream through forked sim.RNGs.
+	Seed uint64
+	// Fault is the per-system incident model; each system draws an
+	// independent schedule from its forked stream.
+	Fault workloads.FaultProfile
+	// Mix splits arrivals into traffic classes (shares must sum to 1).
+	// Empty means one class at ServiceMult 1.
+	Mix []TrafficClass
+	// SLOTargetUS is the latency bound a request must meet to count
+	// toward SLO attainment.
+	SLOTargetUS float64
+	// WindowUS is the rolling SLO accounting window (default one
+	// simulated hour).
+	WindowUS float64
+	// ShedAboveUS arms the shed-first policy: when every routable
+	// system's wait-for-slot exceeds it, the request is shed (an error
+	// budget hit) instead of queued. 0 queues forever.
+	ShedAboveUS float64
+	// WarmupUS is the standby activation latency: a spare scheduled at t
+	// serves from t+WarmupUS.
+	WarmupUS float64
+}
+
+// withDefaults fills the optional knobs.
+func (c Config) withDefaults() Config {
+	if c.WindowUS == 0 {
+		c.WindowUS = 3600 * 1e6 // one simulated hour
+	}
+	return c
+}
+
+// Validate rejects non-physical configs.
+func (c Config) Validate() error {
+	if c.Systems < 1 || c.Standby < 0 || c.ServiceUS <= 0 || c.PipelineDepth < 1 ||
+		c.ArrivalRatePerSec <= 0 || c.HorizonDays <= 0 || c.SLOTargetUS <= 0 ||
+		c.WindowUS <= 0 || c.ShedAboveUS < 0 || c.WarmupUS < 0 {
+		return fmt.Errorf("fleet: invalid config %+v", c)
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if len(c.Mix) > 0 {
+		sum := 0.0
+		for _, cl := range c.Mix {
+			if cl.Share <= 0 || cl.ServiceMult <= 0 {
+				return fmt.Errorf("fleet: invalid traffic class %+v", cl)
+			}
+			sum += cl.Share
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("fleet: traffic-class shares sum to %g, want 1", sum)
+		}
+	}
+	return nil
+}
+
+// sysState is one system's runtime state.
+type sysState struct {
+	sys    *serve.System
+	events []workloads.FaultEvent
+	tally  workloads.IncidentTally
+	next   int // next unactivated event
+	// standby bookkeeping: activeAtUS is 0 for initial actives, +Inf for
+	// unscheduled standbys, the activation instant once scheduled.
+	standby    bool
+	activated  bool
+	activeAtUS float64
+	// serving-visible footprint.
+	requests  int64
+	incidents int
+	replays   int
+	failovers int
+	losses    int
+	// obs series handles (nil when telemetry is off).
+	backlogSeries  *obs.Series
+	capacitySeries *obs.Series
+}
+
+// routable reports whether the system accepts requests at t.
+func (s *sysState) routable(t float64) bool { return s.activeAtUS <= t }
+
+// engine is one Run's working state.
+type engine struct {
+	cfg       Config
+	horizonUS float64
+	systems   []*sysState
+	// policy state: index of the next unscheduled standby.
+	nextStandby int
+	// rolling-window SLO accounting.
+	winGood, winTotal []int64
+	hist              *latHist
+	report            SLOReport
+	// obs handles (nil-safe when no recorder is installed).
+	rec                                         *obs.Recorder
+	reqCount, shedCount, rebalCount, violCount  *obs.Counter
+	incCount, replayCount, failCount, lossCount *obs.Counter
+	activationCount                             *obs.Counter
+	activeSeries                                *obs.Series
+	sampleEveryUS, nextSampleUS                 float64
+}
+
+// Run simulates the fleet and returns its SLO report. The same config
+// always produces a byte-identical report (see SLOReport.JSON).
+func Run(cfg Config) (*SLOReport, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{cfg: cfg, horizonUS: cfg.HorizonDays * 24 * 3600 * 1e6}
+
+	// Per-system fault schedules, forked by stable id: order-independent,
+	// so building system 7's schedule never perturbs system 3's.
+	total := cfg.Systems + cfg.Standby
+	root := sim.NewRNG(cfg.Seed)
+	e.systems = make([]*sysState, total)
+	for i := range e.systems {
+		events, tally := cfg.Fault.Draw(root.Fork(sysStreamBase+uint64(i)), e.horizonUS)
+		st := &sysState{
+			sys:    serve.NewSystem(cfg.ServiceUS, cfg.PipelineDepth),
+			events: events,
+			tally:  tally,
+		}
+		if i >= cfg.Systems {
+			st.standby = true
+			st.activeAtUS = math.Inf(1)
+		}
+		e.systems[i] = st
+	}
+	e.nextStandby = cfg.Systems
+
+	nWin := int(e.horizonUS/cfg.WindowUS) + 1
+	e.winGood = make([]int64, nWin)
+	e.winTotal = make([]int64, nWin)
+	e.hist = newLatHist(cfg.SLOTargetUS)
+	e.wireObs()
+
+	arr := root.Fork(arrivalStream)
+	mix := root.Fork(mixStream)
+	meanGapUS := 1e6 / cfg.ArrivalRatePerSec
+
+	t := 0.0
+	var reqIdx int64
+	for {
+		// Open-loop Poisson arrivals: exponential gaps via inverse
+		// transform, exactly the serve package's process.
+		u := arr.Float64()
+		if u <= 0 {
+			u = 1e-12
+		}
+		t += -math.Log(u) * meanGapUS
+		if t >= e.horizonUS {
+			break
+		}
+		// Traffic class (its own stream, so enabling a mix never perturbs
+		// the arrival process).
+		mult := 1.0
+		if len(cfg.Mix) > 0 {
+			x := mix.Float64()
+			acc := 0.0
+			for _, cl := range cfg.Mix {
+				acc += cl.Share
+				mult = cl.ServiceMult
+				if x < acc {
+					break
+				}
+			}
+		}
+		// Activate every incident that struck before this arrival, on
+		// every serving system, in index order — deterministic.
+		for _, st := range e.systems {
+			e.catchUp(st, t)
+		}
+		e.sample(t)
+
+		// Route: requests have an affinity home (round-robin over the
+		// initial actives); a request leaves home only when home cannot
+		// start it immediately — a stall or a backlog — and then joins
+		// the system with the earliest free slot (drain-and-redistribute).
+		home := int(reqIdx % int64(cfg.Systems))
+		reqIdx++
+		chosen, bestEst := home, e.systems[home].sys.EarliestStart(t)
+		if bestEst > t {
+			for i, st := range e.systems {
+				if !st.routable(t) {
+					continue
+				}
+				if est := st.sys.EarliestStart(t); est < bestEst {
+					chosen, bestEst = i, est
+				}
+			}
+		}
+
+		w := int(t / cfg.WindowUS)
+		e.winTotal[w]++
+		e.report.Requests++
+		e.reqCount.Inc()
+
+		// Shed-first: when even the best system's wait exceeds the bound,
+		// reject instead of queueing — an error-budget hit, not a latency
+		// sample.
+		if cfg.ShedAboveUS > 0 && bestEst-t > cfg.ShedAboveUS {
+			e.report.Shed++
+			e.shedCount.Inc()
+			continue
+		}
+		if chosen != home {
+			e.report.Rebalanced++
+			e.rebalCount.Inc()
+		}
+		st := e.systems[chosen]
+		_, done := st.sys.Admit(t, mult)
+		st.requests++
+		lat := done - t
+		e.hist.add(lat)
+		if lat <= cfg.SLOTargetUS {
+			e.winGood[w]++
+		} else {
+			e.violCount.Inc()
+		}
+	}
+	// Flush incidents that struck after the last arrival so per-system
+	// availability covers the whole horizon.
+	for _, st := range e.systems {
+		e.catchUp(st, e.horizonUS)
+	}
+	e.finish()
+	return &e.report, nil
+}
+
+// catchUp activates st's incidents with StartUS <= t. A standby system
+// first fast-forwards past the fault history that accrued while it was
+// powered off: hardware state (lost capacity) applies, serving-visible
+// stalls do not.
+func (e *engine) catchUp(st *sysState, t float64) {
+	if st.activeAtUS > t {
+		return
+	}
+	if st.standby && !st.activated {
+		st.activated = true
+		for st.next < len(st.events) && st.events[st.next].StartUS < st.activeAtUS {
+			st.sys.SetCapacity(st.events[st.next].CapacityFrac)
+			st.next++
+		}
+	}
+	for st.next < len(st.events) && st.events[st.next].StartUS <= t {
+		ev := st.events[st.next]
+		st.next++
+		nextStart := math.Inf(1)
+		if st.next < len(st.events) {
+			nextStart = st.events[st.next].StartUS
+		}
+		st.sys.Activate(ev.Incident, nextStart)
+		st.incidents++
+		e.incCount.Inc()
+		switch ev.Kind {
+		case workloads.KindReplay:
+			st.replays++
+			e.replayCount.Inc()
+		case workloads.KindFailover:
+			st.failovers++
+			e.failCount.Inc()
+		case workloads.KindCapacityLoss:
+			st.losses++
+			e.lossCount.Inc()
+			// Spare policy: a post-spare capacity loss is the signal that
+			// the fleet is short a system — power on the next standby.
+			if e.nextStandby < len(e.systems) {
+				sp := e.systems[e.nextStandby]
+				sp.activeAtUS = ev.StartUS + e.cfg.WarmupUS
+				e.nextStandby++
+				e.report.SpareActivations++
+				e.activationCount.Inc()
+			}
+		}
+	}
+}
+
+// wireObs resolves metric handles; all are nil-safe when no recorder is
+// installed.
+func (e *engine) wireObs() {
+	e.rec = obs.Get()
+	if e.rec == nil {
+		return
+	}
+	e.reqCount = e.rec.Counter("fleet.requests")
+	e.shedCount = e.rec.Counter("fleet.shed_requests")
+	e.rebalCount = e.rec.Counter("fleet.rebalanced_requests")
+	e.violCount = e.rec.Counter("fleet.slo_violations")
+	e.incCount = e.rec.Counter("fleet.incidents")
+	e.replayCount = e.rec.Counter("fleet.replays")
+	e.failCount = e.rec.Counter("fleet.failovers")
+	e.lossCount = e.rec.Counter("fleet.capacity_losses")
+	e.activationCount = e.rec.Counter("fleet.spare_activations")
+	if e.rec.SeriesCadence() > 0 {
+		// Per-system backlog/capacity tracks plus the active-system count,
+		// sampled on a deterministic simulated-time grid (512 points over
+		// the horizon).
+		e.sampleEveryUS = e.horizonUS / 512
+		e.nextSampleUS = e.sampleEveryUS
+		e.activeSeries = e.rec.Series("fleet.active_systems", obs.PidHost)
+		for i, st := range e.systems {
+			st.backlogSeries = e.rec.Series("fleet.backlog_us", obs.PidHost, obs.Li("sys", i))
+			st.capacitySeries = e.rec.Series("fleet.capacity_centi", obs.PidHost, obs.Li("sys", i))
+		}
+	}
+}
+
+// sample records the per-system series on the deterministic grid.
+func (e *engine) sample(t float64) {
+	if e.sampleEveryUS == 0 || t < e.nextSampleUS {
+		return
+	}
+	cyc := clock.CyclesOfUS(t)
+	active := int64(0)
+	for _, st := range e.systems {
+		if !st.routable(t) {
+			continue
+		}
+		active++
+		st.backlogSeries.Add(cyc, int64(st.sys.EarliestStart(t)-t))
+		st.capacitySeries.Add(cyc, int64(100*st.sys.CapacityFrac()+0.5))
+	}
+	e.activeSeries.Add(cyc, active)
+	for e.nextSampleUS <= t {
+		e.nextSampleUS += e.sampleEveryUS
+	}
+}
+
+// finish folds the accumulated state into the report.
+func (e *engine) finish() {
+	cfg := e.cfg
+	r := &e.report
+	r.Systems = cfg.Systems
+	r.Standby = cfg.Standby
+	r.HorizonDays = cfg.HorizonDays
+	r.Seed = cfg.Seed
+	r.SLOTargetUS = cfg.SLOTargetUS
+	r.WindowUS = cfg.WindowUS
+	r.Served = e.hist.count
+	var good int64
+	for w, tot := range e.winTotal {
+		if tot == 0 {
+			continue
+		}
+		r.Windows++
+		good += e.winGood[w]
+		frac := float64(e.winGood[w]) / float64(tot)
+		if frac >= 0.999 {
+			r.WindowsMeeting999++
+		}
+		if frac >= 0.9999 {
+			r.WindowsMeeting9999++
+		}
+	}
+	if r.Requests > 0 {
+		r.Attainment = float64(good) / float64(r.Requests)
+	}
+	if r.Windows > 0 {
+		r.WindowAttainment999 = float64(r.WindowsMeeting999) / float64(r.Windows)
+		r.WindowAttainment9999 = float64(r.WindowsMeeting9999) / float64(r.Windows)
+	}
+	r.P50US = e.hist.percentile(50)
+	r.P99US = e.hist.percentile(99)
+	r.P999US = e.hist.percentile(99.9)
+	r.P9999US = e.hist.percentile(99.99)
+	r.MaxUS = e.hist.maxUS
+	r.PerSystem = make([]SystemReport, len(e.systems))
+	for i, st := range e.systems {
+		sr := SystemReport{
+			ID:                i,
+			Standby:           st.standby,
+			ActivatedAtUS:     st.activeAtUS,
+			Requests:          st.requests,
+			Incidents:         st.incidents,
+			Replays:           st.replays,
+			Failovers:         st.failovers,
+			CapacityLosses:    st.losses,
+			SparesLeft:        st.tally.SparesLeft,
+			FinalCapacityFrac: st.sys.CapacityFrac(),
+			StallUS:           st.sys.StallUS(),
+		}
+		wall := e.horizonUS - st.activeAtUS
+		if st.standby && !st.activated {
+			sr.ActivatedAtUS = -1
+			sr.SparesLeft = cfg.Fault.Spares
+			wall = 0
+		}
+		sr.AvailableFrac = st.sys.AvailableFrac(wall)
+		r.Incidents += st.incidents
+		r.Replays += st.replays
+		r.Failovers += st.failovers
+		r.CapacityLosses += st.losses
+		r.PerSystem[i] = sr
+	}
+}

@@ -1,0 +1,164 @@
+package fleet
+
+// SLOReport and the deterministic latency histogram behind its
+// percentiles. Months of simulated traffic mean millions of requests, so
+// per-request latencies are never stored: latencies land in fixed-width
+// bins (resolution SLOTargetUS/100) and a percentile is its bin's upper
+// edge — deterministic, byte-stable, and within 1% of the target at the
+// latencies that matter for attainment.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// histBins spans [0, 40×SLOTarget) at SLOTarget/100 resolution; anything
+// slower lands in the overflow bin and reports as MaxUS.
+const histBins = 4000
+
+// latHist is a fixed-bin latency histogram.
+type latHist struct {
+	widthUS float64
+	bins    [histBins + 1]int64 // last bin is overflow
+	count   int64
+	maxUS   float64
+}
+
+func newLatHist(sloTargetUS float64) *latHist {
+	return &latHist{widthUS: sloTargetUS / 100}
+}
+
+func (h *latHist) add(latUS float64) {
+	h.count++
+	if latUS > h.maxUS {
+		h.maxUS = latUS
+	}
+	b := int(latUS / h.widthUS)
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBins {
+		b = histBins
+	}
+	h.bins[b]++
+}
+
+// percentile returns the upper edge of the bin holding the p-th
+// percentile sample (overflow reports the exact observed max).
+func (h *latHist) percentile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(p / 100 * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for b, n := range h.bins {
+		seen += n
+		if seen > rank {
+			if b == histBins {
+				return h.maxUS
+			}
+			return float64(b+1) * h.widthUS
+		}
+	}
+	return h.maxUS
+}
+
+// SystemReport is one system's share of the fleet run.
+type SystemReport struct {
+	ID      int  `json:"id"`
+	Standby bool `json:"standby"`
+	// ActivatedAtUS is when a standby began serving (-1 = never; 0 for
+	// systems active from the start).
+	ActivatedAtUS     float64 `json:"activated_at_us"`
+	Requests          int64   `json:"requests"`
+	Incidents         int     `json:"incidents"`
+	Replays           int     `json:"replays"`
+	Failovers         int     `json:"failovers"`
+	CapacityLosses    int     `json:"capacity_losses"`
+	SparesLeft        int     `json:"spares_left"`
+	FinalCapacityFrac float64 `json:"final_capacity_frac"`
+	StallUS           float64 `json:"stall_us"`
+	AvailableFrac     float64 `json:"available_frac"`
+}
+
+// SLOReport is the fleet run's outcome. JSON() is byte-stable: the same
+// Config always produces the same bytes.
+type SLOReport struct {
+	Systems     int     `json:"systems"`
+	Standby     int     `json:"standby"`
+	HorizonDays float64 `json:"horizon_days"`
+	Seed        uint64  `json:"seed"`
+
+	Requests   int64 `json:"requests"`
+	Served     int64 `json:"served"`
+	Shed       int64 `json:"shed"`
+	Rebalanced int64 `json:"rebalanced"`
+
+	SpareActivations int `json:"spare_activations"`
+	Incidents        int `json:"incidents"`
+	Replays          int `json:"replays"`
+	Failovers        int `json:"failovers"`
+	CapacityLosses   int `json:"capacity_losses"`
+
+	SLOTargetUS float64 `json:"slo_target_us"`
+	WindowUS    float64 `json:"window_us"`
+	// Attainment is the fraction of all arrivals served within the
+	// target (shed requests count against it).
+	Attainment float64 `json:"attainment"`
+	// Windows is the number of rolling windows with traffic;
+	// WindowsMeeting999/9999 met 99.9%/99.99% attainment inside the
+	// window, and WindowAttainment* are the corresponding fractions.
+	Windows              int     `json:"windows"`
+	WindowsMeeting999    int     `json:"windows_meeting_999"`
+	WindowsMeeting9999   int     `json:"windows_meeting_9999"`
+	WindowAttainment999  float64 `json:"window_attainment_999"`
+	WindowAttainment9999 float64 `json:"window_attainment_9999"`
+
+	P50US   float64 `json:"p50_us"`
+	P99US   float64 `json:"p99_us"`
+	P999US  float64 `json:"p999_us"`
+	P9999US float64 `json:"p9999_us"`
+	MaxUS   float64 `json:"max_us"`
+
+	PerSystem []SystemReport `json:"per_system"`
+}
+
+// JSON renders the report as indented JSON. Field order follows the
+// struct, floats format deterministically, PerSystem is indexed by
+// system id — identical runs produce identical bytes.
+func (r *SLOReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render formats the report as a human-readable text block.
+func (r *SLOReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d systems (+%d standby), %.1f days, seed %d\n",
+		r.Systems, r.Standby, r.HorizonDays, r.Seed)
+	fmt.Fprintf(&b, "requests: %d served %d shed %d rebalanced %d\n",
+		r.Requests, r.Served, r.Shed, r.Rebalanced)
+	fmt.Fprintf(&b, "incidents: %d (replay %d failover %d capacity-loss %d), spare activations %d\n",
+		r.Incidents, r.Replays, r.Failovers, r.CapacityLosses, r.SpareActivations)
+	fmt.Fprintf(&b, "SLO %.0fus: attainment %.6f; windows %d, 99.9%% met in %.4f, 99.99%% in %.4f\n",
+		r.SLOTargetUS, r.Attainment, r.Windows, r.WindowAttainment999, r.WindowAttainment9999)
+	fmt.Fprintf(&b, "latency us: p50 %.0f p99 %.0f p99.9 %.0f p99.99 %.0f max %.0f\n",
+		r.P50US, r.P99US, r.P999US, r.P9999US, r.MaxUS)
+	for _, s := range r.PerSystem {
+		tag := ""
+		if s.Standby {
+			if s.ActivatedAtUS < 0 {
+				tag = " standby(idle)"
+			} else {
+				tag = fmt.Sprintf(" standby(on@%.0fs)", s.ActivatedAtUS/1e6)
+			}
+		}
+		fmt.Fprintf(&b, "  sys %2d%s: req %8d inc %3d (r%d/f%d/c%d) cap %.2f avail %.6f\n",
+			s.ID, tag, s.Requests, s.Incidents, s.Replays, s.Failovers, s.CapacityLosses,
+			s.FinalCapacityFrac, s.AvailableFrac)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package fleet
+
+// Sweep runs the spare-policy × checkpoint-cadence × traffic-mix grid
+// behind `tspsim -exp fleet`: how many standby systems, how often each
+// system checkpoints, and how much of the stream is heavy batch traffic
+// versus interactive. Every point reuses the base config and seed, so
+// the grid is deterministic and points differ only in the swept knobs.
+
+import "repro/internal/workloads"
+
+// SweepPoint is one grid cell's outcome.
+type SweepPoint struct {
+	Standby    int     `json:"standby"`
+	CadenceUS  float64 `json:"cadence_us"`
+	HeavyShare float64 `json:"heavy_share"`
+
+	Attainment          float64 `json:"attainment"`
+	WindowAttainment999 float64 `json:"window_attainment_999"`
+	P999US              float64 `json:"p999_us"`
+	ShedFrac            float64 `json:"shed_frac"`
+}
+
+// Sweep evaluates the grid. cadencesUS entries of 0 disable
+// checkpointing (cycle-0 replays); heavyShares entries give the batch
+// class's share of arrivals (0 = pure interactive), with batch requests
+// costing 4× the base service time.
+func Sweep(base Config, standbys []int, cadencesUS []float64, heavyShares []float64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, sb := range standbys {
+		for _, cad := range cadencesUS {
+			for _, hs := range heavyShares {
+				cfg := base
+				cfg.Standby = sb
+				if cad > 0 {
+					cfg.Fault.Checkpoint.CadenceUS = cad
+				} else {
+					cfg.Fault.Checkpoint = workloads.Checkpointing{}
+				}
+				if hs > 0 {
+					cfg.Mix = []TrafficClass{
+						{Name: "interactive", Share: 1 - hs, ServiceMult: 1},
+						{Name: "batch", Share: hs, ServiceMult: 4},
+					}
+				} else {
+					cfg.Mix = nil
+				}
+				rep, err := Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				pt := SweepPoint{
+					Standby:             sb,
+					CadenceUS:           cad,
+					HeavyShare:          hs,
+					Attainment:          rep.Attainment,
+					WindowAttainment999: rep.WindowAttainment999,
+					P999US:              rep.P999US,
+				}
+				if rep.Requests > 0 {
+					pt.ShedFrac = float64(rep.Shed) / float64(rep.Requests)
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out, nil
+}

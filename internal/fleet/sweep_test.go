@@ -1,0 +1,83 @@
+package fleet
+
+import "testing"
+
+// The spare x cadence sweep is monotone along the standby axis: growing
+// the spare pool leaves every fault schedule and the arrival stream
+// untouched (streams fork by stable id) and only adds capacity, so SLO
+// attainment never gets worse — and somewhere on the grid a spare must
+// actually help. The cadence axis is checked as never-worse too: every
+// replay stall shrinks pointwise as the cadence tightens (same fault
+// times, same classification — only ReplayUS changes).
+func TestFleetSweepMonotoneSLO(t *testing.T) {
+	base := baseCfg()
+	base.HorizonDays = 8
+	base.Fault.MTBFHours = 10    // burn through the spares inside 8 days
+	base.ArrivalRatePerSec = 0.7 // 87.5% of fleet capacity: lost systems hurt
+
+	standbys := []int{0, 1, 2}
+	// Loosest to tightest: checkpointing off, then 20s and 5s cadences.
+	cadences := []float64{0, 2e7, 5e6}
+	pts, err := Sweep(base, standbys, cadences, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(standbys)*len(cadences) {
+		t.Fatalf("want %d points, got %d", len(standbys)*len(cadences), len(pts))
+	}
+	at := func(si, ci int) SweepPoint { return pts[si*len(cadences)+ci] }
+	improved := false
+	for ci := range cadences {
+		for si := 1; si < len(standbys); si++ {
+			prev, cur := at(si-1, ci), at(si, ci)
+			if cur.Attainment < prev.Attainment {
+				t.Errorf("cadence %g: attainment fell from %.6f to %.6f adding a standby %d -> %d",
+					cur.CadenceUS, prev.Attainment, cur.Attainment, prev.Standby, cur.Standby)
+			}
+			if cur.Attainment > prev.Attainment {
+				improved = true
+			}
+		}
+	}
+	if !improved {
+		t.Error("no standby addition improved attainment anywhere on the grid")
+	}
+	for si := range standbys {
+		for ci := 1; ci < len(cadences); ci++ {
+			prev, cur := at(si, ci-1), at(si, ci)
+			if cur.Attainment < prev.Attainment {
+				t.Errorf("standby %d: attainment fell from %.6f to %.6f as cadence tightened %g -> %g",
+					cur.Standby, prev.Attainment, cur.Attainment, prev.CadenceUS, cur.CadenceUS)
+			}
+		}
+	}
+	// And the grid is deterministic: rerunning reproduces every point.
+	again, err := Sweep(base, standbys, cadences, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatalf("sweep point %d not reproducible: %+v vs %+v", i, pts[i], again[i])
+		}
+	}
+}
+
+// Heavier traffic mixes never improve the SLO: at fixed spares and
+// cadence, attainment is non-increasing in the batch share.
+func TestFleetSweepTrafficAxisSLO(t *testing.T) {
+	base := baseCfg()
+	base.HorizonDays = 8
+	base.ArrivalRatePerSec = 0.4
+
+	pts, err := Sweep(base, []int{2}, []float64{5e6}, []float64{0, 0.1, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Attainment > pts[i-1].Attainment {
+			t.Errorf("attainment rose from %.6f to %.6f as batch share grew %g -> %g",
+				pts[i-1].Attainment, pts[i].Attainment, pts[i-1].HeavyShare, pts[i].HeavyShare)
+		}
+	}
+}

@@ -102,3 +102,96 @@ func TestRunDegradedValidation(t *testing.T) {
 		t.Error("CapacityFrac > 1 should be rejected")
 	}
 }
+
+// Overlapping recovery stalls must merge before they are subtracted from
+// wall time: two faults whose windows overlap cost the union, so a dense
+// burst of incidents can never push AvailableFrac below zero (the old
+// accounting summed every ReplayUS unconditionally).
+func TestRunDegradedOverlappingStallsMerge(t *testing.T) {
+	cfg := Config{
+		ServiceUS:         100,
+		PipelineDepth:     4,
+		ArrivalRatePerSec: 5000,
+		Requests:          2000,
+		Seed:              9,
+	}
+	// Two 30 ms stalls 10 ms apart: the union is [100ms, 140ms] = 40 ms,
+	// not 60 ms. A third incident fully inside the union adds nothing.
+	overlapping := []Incident{
+		{StartUS: 100_000, ReplayUS: 30_000, CapacityFrac: 1},
+		{StartUS: 110_000, ReplayUS: 30_000, CapacityFrac: 1},
+		{StartUS: 120_000, ReplayUS: 5_000, CapacityFrac: 1},
+	}
+	merged, err := RunDegraded(cfg, overlapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same union as one incident: availability must match exactly.
+	one, err := RunDegraded(cfg, []Incident{{StartUS: 100_000, ReplayUS: 40_000, CapacityFrac: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.AvailableFrac != one.AvailableFrac {
+		t.Errorf("overlapping stalls not merged: AvailableFrac %v vs single-window %v",
+			merged.AvailableFrac, one.AvailableFrac)
+	}
+	if merged.AvailableFrac <= 0 || merged.AvailableFrac >= 1 {
+		t.Errorf("AvailableFrac = %v, want in (0, 1)", merged.AvailableFrac)
+	}
+
+	// A burst whose summed ReplayUS exceeds the run: the old accounting
+	// clamped availability to 0; the merged windows leave most of the run
+	// available.
+	var burst []Incident
+	for i := 0; i < 50; i++ {
+		burst = append(burst, Incident{StartUS: 100_000 + float64(i)*100, ReplayUS: 20_000, CapacityFrac: 1})
+	}
+	br, err := RunDegraded(cfg, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union is [100ms, 104.9ms+20ms] ≈ 24.9 ms out of a ~400 ms run.
+	if br.AvailableFrac < 0.9 {
+		t.Errorf("burst of overlapping stalls double-counted: AvailableFrac = %v", br.AvailableFrac)
+	}
+}
+
+// CapacityFrac == 0 is a total outage, not a no-op: the system serves
+// nothing until the next incident restores capacity, and a schedule that
+// ends on one is rejected (nothing could ever bring the system back).
+func TestRunDegradedTotalOutage(t *testing.T) {
+	cfg := Config{
+		ServiceUS:         100,
+		PipelineDepth:     4,
+		ArrivalRatePerSec: 5000,
+		Requests:          2000,
+		Seed:              9,
+	}
+	// Outage at 100 ms, recovery (full capacity) at 180 ms: the whole
+	// 80 ms gap is stalled even though ReplayUS is only 5 ms.
+	outage := []Incident{
+		{StartUS: 100_000, ReplayUS: 5_000, CapacityFrac: 0},
+		{StartUS: 180_000, ReplayUS: 0, CapacityFrac: 1},
+	}
+	r, err := RunDegraded(cfg, outage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equivalent single stall covering [100ms, 180ms].
+	eq, err := RunDegraded(cfg, []Incident{{StartUS: 100_000, ReplayUS: 80_000, CapacityFrac: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvailableFrac != eq.AvailableFrac {
+		t.Errorf("total outage not stalled to the next incident: AvailableFrac %v vs %v",
+			r.AvailableFrac, eq.AvailableFrac)
+	}
+	if r.MaxUS < 75_000 {
+		t.Errorf("outage tail missing from latency: max %.0f µs", r.MaxUS)
+	}
+
+	// Terminal total outage: rejected, not silently skipped.
+	if _, err := RunDegraded(cfg, []Incident{{StartUS: 100_000, ReplayUS: 5_000, CapacityFrac: 0}}); err == nil {
+		t.Error("schedule ending on a total outage should be rejected")
+	}
+}

@@ -100,16 +100,20 @@ func Run(cfg Config) (Result, error) {
 // schedule: the request stream keeps arriving while the runtime walks the
 // recovery ladder, so the replay tail and the degraded-capacity era are
 // visible in the same latency percentiles the healthy run reports.
+//
+// Overlapping recovery stalls are merged before they are subtracted from
+// wall time, so back-to-back faults never double-count and AvailableFrac
+// stays in [0, 1]. An incident with CapacityFrac == 0 is a total outage:
+// the system stalls until the next incident restores capacity, and a
+// schedule that ends on one is rejected.
 func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 	if cfg.ServiceUS <= 0 || cfg.PipelineDepth < 1 || cfg.Requests < 1 || cfg.ArrivalRatePerSec <= 0 || cfg.MaxQueueDepth < 0 {
 		return DegradedResult{}, fmt.Errorf("serve: invalid config %+v", cfg)
 	}
 	incs := append([]Incident(nil), incidents...)
 	sort.SliceStable(incs, func(i, j int) bool { return incs[i].StartUS < incs[j].StartUS })
-	for _, inc := range incs {
-		if inc.ReplayUS < 0 || inc.CapacityFrac < 0 || inc.CapacityFrac > 1 {
-			return DegradedResult{}, fmt.Errorf("serve: invalid incident %+v", inc)
-		}
+	if err := ValidateIncidents(incs); err != nil {
+		return DegradedResult{}, err
 	}
 	rng := sim.NewRNG(cfg.Seed)
 	meanGapUS := 1e6 / cfg.ArrivalRatePerSec
@@ -158,13 +162,8 @@ func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 	// single server with service = ServiceUS and a fixed residency.
 	lat := make([]float64, 0, cfg.Requests)
 	arrival := 0.0
-	slotFree := 0.0
-	busy := 0.0
-	var lastDone float64
+	sys := NewSystem(cfg.ServiceUS, cfg.PipelineDepth)
 	nextInc := 0
-	stallEnd := 0.0
-	stallTotal := 0.0
-	scale := 1.0
 	// qStarts[qHead:] are the start times of admitted requests still
 	// waiting for their pipeline slot — the admission queue the bound
 	// applies to.
@@ -179,21 +178,17 @@ func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 		}
 		arrival += -math.Log(u) * meanGapUS
 		// Activate every incident that struck before this arrival: the
-		// pipeline slot is blocked through the recovery stall, and the
-		// capacity factor applies to everything that follows.
+		// pipeline slot is blocked through the recovery stall (overlapping
+		// windows merged), and the capacity factor applies to everything
+		// that follows.
 		for nextInc < len(incs) && incs[nextInc].StartUS <= arrival {
 			inc := incs[nextInc]
 			nextInc++
-			if end := inc.StartUS + inc.ReplayUS; end > stallEnd {
-				stallEnd = end
+			nextStart := math.Inf(1)
+			if nextInc < len(incs) {
+				nextStart = incs[nextInc].StartUS
 			}
-			if stallEnd > slotFree {
-				slotFree = stallEnd
-			}
-			if inc.CapacityFrac > 0 {
-				scale = 1 / inc.CapacityFrac
-			}
-			stallTotal += inc.ReplayUS
+			sys.Activate(inc, nextStart)
 			if rec != nil {
 				rec.Counter("serve.incidents").Inc()
 				rec.SpanUS(obs.PidHost, serveTid, "serve.incident", inc.StartUS, inc.ReplayUS)
@@ -213,14 +208,11 @@ func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 		if depthSeries != nil && i%sampleStride == 0 {
 			cyc := clock.CyclesOfUS(arrival)
 			depthSeries.Add(cyc, int64(len(qStarts)-qHead))
-			backlog := slotFree - arrival
-			if backlog < 0 {
-				backlog = 0
-			}
+			backlog := sys.EarliestStart(arrival) - arrival
 			backlogSeries.Add(cyc, int64(backlog))
 			// In-flight batch: initiation slots already committed ahead of
 			// this arrival, capped at the pipeline depth.
-			inflight := int64(math.Ceil(backlog / (cfg.ServiceUS * scale)))
+			inflight := int64(math.Ceil(backlog / (cfg.ServiceUS * sys.Scale())))
 			if inflight > int64(cfg.PipelineDepth) {
 				inflight = int64(cfg.PipelineDepth)
 			}
@@ -234,26 +226,16 @@ func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 			}
 			continue
 		}
-		serviceUS := cfg.ServiceUS * scale
-		start := arrival
-		if slotFree > start {
-			start = slotFree
-		}
+		start, done := sys.Admit(arrival, 1)
 		if start > arrival {
 			qStarts = append(qStarts, start)
 		}
-		slotFree = start + serviceUS
-		busy += serviceUS
-		done := start + float64(cfg.PipelineDepth)*serviceUS
 		lat = append(lat, done-arrival)
-		if done > lastDone {
-			lastDone = done
-		}
-		replayed := arrival < stallEnd
+		replayed := sys.InStall(arrival)
 		if replayed {
 			res.ReplayedRequests++
 		}
-		if scale > 1 {
+		if sys.Scale() > 1 {
 			res.DegradedRequests++
 		}
 		if rec != nil {
@@ -264,7 +246,7 @@ func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 			if replayed {
 				replayedCount.Inc()
 			}
-			if scale > 1 {
+			if sys.Scale() > 1 {
 				degradedCount.Inc()
 			}
 			latHist.Add(done - arrival)
@@ -280,22 +262,17 @@ func RunDegraded(cfg Config, incidents []Incident) (DegradedResult, error) {
 		idx := int(p / 100 * float64(len(lat)-1))
 		return lat[idx]
 	}
-	if lastDone > 0 && stallTotal > 0 {
-		res.AvailableFrac = 1 - stallTotal/lastDone
-		if res.AvailableFrac < 0 {
-			res.AvailableFrac = 0
-		}
-	}
+	res.AvailableFrac = sys.AvailableFrac(sys.LastDoneUS())
 	// Shed requests were never served: percentiles and throughput cover
 	// the admitted stream only.
 	admitted := cfg.Requests - res.ShedRequests
 	res.Result = Result{
 		Requests:    cfg.Requests,
-		Throughput:  float64(admitted) / (lastDone / 1e6),
+		Throughput:  float64(admitted) / (sys.LastDoneUS() / 1e6),
 		P50US:       pct(50),
 		P99US:       pct(99),
 		MaxUS:       lat[len(lat)-1],
-		Utilization: busy / lastDone,
+		Utilization: sys.BusyUS() / sys.LastDoneUS(),
 	}
 	return res, nil
 }

@@ -98,48 +98,22 @@ func AvailabilityVsMTBFCheckpointed(cfg serve.Config, mtbfHours []float64, spare
 		if mtbf <= 0 {
 			return nil, fmt.Errorf("workloads: MTBF %g must be positive", mtbf)
 		}
-		meanGapUS := mtbf * 3600 * 1e6
-		r := rng.Fork(uint64(li))
-		pt := AvailabilityPoint{MTBFHours: mtbf, SparesLeft: spares}
-		var incidents []serve.Incident
-		at := 0.0
-		capacity := 1.0
-		for {
-			u := r.Float64()
-			if u <= 0 {
-				u = 1e-12
-			}
-			at += -math.Log(u) * meanGapUS
-			if at >= horizonUS {
-				break
-			}
-			pt.Faults++
-			inc := serve.Incident{StartUS: at, ReplayUS: replayStallUS, CapacityFrac: capacity}
-			if r.Float64() < replayFrac {
-				// Repairable: re-characterize and resume from the last
-				// barrier (or replay from cycle 0 without checkpointing).
-				pt.Replays++
-				inc.ReplayUS = ckpt.replayStall(at, replayStallUS)
-			} else {
-				// Node loss: replay plus rebuild on the remapped TSPs. No
-				// checkpoint shortcut — the remap invalidates snapshots.
-				pt.Failovers++
-				inc.ReplayUS += replayStallUS
-				if pt.SparesLeft > 0 {
-					pt.SparesLeft--
-				} else {
-					// Spares exhausted: the remap squeezes the model onto
-					// fewer chips, shedding one node's worth of capacity.
-					capacity -= 1.0 / float64(spares+1)
-					if capacity < 0.1 {
-						capacity = 0.1
-					}
-					inc.CapacityFrac = capacity
-				}
-			}
-			incidents = append(incidents, inc)
+		profile := FaultProfile{
+			MTBFHours:     mtbf,
+			Spares:        spares,
+			ReplayFrac:    replayFrac,
+			ReplayStallUS: replayStallUS,
+			Checkpoint:    ckpt,
 		}
-		res, err := serve.RunDegraded(cfg, incidents)
+		events, tally := profile.Draw(rng.Fork(uint64(li)), horizonUS)
+		pt := AvailabilityPoint{
+			MTBFHours:  mtbf,
+			Faults:     tally.Faults,
+			Replays:    tally.Replays,
+			Failovers:  tally.Failovers,
+			SparesLeft: tally.SparesLeft,
+		}
+		res, err := serve.RunDegraded(cfg, Incidents(events))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,166 @@
+package workloads
+
+// Seeded incident generation: the MTBF-driven fault schedule behind
+// AvailabilityVsMTBF, extracted so the fleet simulator (internal/fleet)
+// can draw one independent schedule per system from a forked RNG stream.
+// Each fault is classified through the §4.5 recovery ladder's semantics —
+// repairable faults replay (shortened by checkpointing), node losses
+// consume a spare, and post-spare losses shed capacity.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// IncidentKind classifies one fault's recovery outcome.
+type IncidentKind int
+
+const (
+	// KindReplay is a repairable fault: repair + re-characterize + replay
+	// from the last clean barrier (or cycle 0 without checkpointing).
+	KindReplay IncidentKind = iota
+	// KindFailover is a node loss absorbed by a spare: replay plus a
+	// rebuild on the remapped TSPs, full capacity afterwards.
+	KindFailover
+	// KindCapacityLoss is a node loss with the spares exhausted: the
+	// remap squeezes the model onto fewer chips, shedding capacity.
+	KindCapacityLoss
+)
+
+// String names the kind for reports and metric labels.
+func (k IncidentKind) String() string {
+	switch k {
+	case KindReplay:
+		return "replay"
+	case KindFailover:
+		return "failover"
+	case KindCapacityLoss:
+		return "capacity_loss"
+	}
+	return "unknown"
+}
+
+// FaultEvent is one scheduled fault: the serving-visible incident plus
+// its ladder classification.
+type FaultEvent struct {
+	serve.Incident
+	Kind IncidentKind
+}
+
+// FaultProfile describes one system's fault model: how often faults
+// strike, how they split between replays and node losses, what a
+// recovery stall costs, and how checkpointing shortens it.
+type FaultProfile struct {
+	// MTBFHours is the mean time between faults.
+	MTBFHours float64
+	// Spares is how many node losses the system absorbs at full capacity.
+	Spares int
+	// ReplayFrac is the probability a fault is repairable (replay-only);
+	// the rest are node losses.
+	ReplayFrac float64
+	// ReplayStallUS is the serving-visible cost of one cycle-0 replay;
+	// failovers cost an additional rebuild of the same length.
+	ReplayStallUS float64
+	// Checkpoint shortens replay stalls to restore + mid-epoch remainder.
+	Checkpoint Checkpointing
+}
+
+// Validate rejects non-physical profiles.
+func (p FaultProfile) Validate() error {
+	if p.MTBFHours <= 0 || math.IsNaN(p.MTBFHours) || math.IsInf(p.MTBFHours, 0) {
+		return fmt.Errorf("workloads: MTBF %g must be positive and finite", p.MTBFHours)
+	}
+	if p.Spares < 0 || p.ReplayFrac < 0 || p.ReplayFrac > 1 || p.ReplayStallUS <= 0 {
+		return fmt.Errorf("workloads: invalid fault parameters %+v", p)
+	}
+	if p.Checkpoint.CadenceUS < 0 || p.Checkpoint.RestoreUS < 0 ||
+		(p.Checkpoint.enabled() && p.Checkpoint.RestoreUS > p.ReplayStallUS) {
+		return fmt.Errorf("workloads: invalid checkpointing %+v", p.Checkpoint)
+	}
+	return nil
+}
+
+// IncidentTally summarizes one drawn schedule.
+type IncidentTally struct {
+	// Faults drawn inside the horizon; Replays recovered with a stall
+	// only, Failovers consumed a spare, CapacityLosses shed capacity.
+	Faults, Replays, Failovers, CapacityLosses int
+	// SparesLeft after the schedule (0 means later faults degraded
+	// capacity).
+	SparesLeft int
+	// FinalCapacity is the capacity fraction after the last fault.
+	FinalCapacity float64
+}
+
+// Draw generates the deterministic fault schedule for one system over
+// horizonUS from the given RNG stream: exponential gaps at the profile's
+// MTBF, each fault classified replay-or-failover, spares consumed in
+// order, capacity shed once they are gone (floored at 10%). The draw
+// order is fixed — one uniform for the gap, one for the classification —
+// so a forked stream reproduces the schedule regardless of when other
+// systems draw theirs.
+func (p FaultProfile) Draw(r *sim.RNG, horizonUS float64) ([]FaultEvent, IncidentTally) {
+	meanGapUS := p.MTBFHours * 3600 * 1e6
+	tally := IncidentTally{SparesLeft: p.Spares, FinalCapacity: 1}
+	var events []FaultEvent
+	at := 0.0
+	capacity := 1.0
+	for {
+		u := r.Float64()
+		if u <= 0 {
+			u = 1e-12
+		}
+		at += -math.Log(u) * meanGapUS
+		if at >= horizonUS {
+			break
+		}
+		tally.Faults++
+		ev := FaultEvent{Incident: serve.Incident{StartUS: at, ReplayUS: p.ReplayStallUS, CapacityFrac: capacity}}
+		if r.Float64() < p.ReplayFrac {
+			// Repairable: re-characterize and resume from the last
+			// barrier (or replay from cycle 0 without checkpointing).
+			tally.Replays++
+			ev.Kind = KindReplay
+			ev.ReplayUS = p.Checkpoint.replayStall(at, p.ReplayStallUS)
+		} else {
+			// Node loss: replay plus rebuild on the remapped TSPs. No
+			// checkpoint shortcut — the remap invalidates snapshots.
+			ev.ReplayUS += p.ReplayStallUS
+			if tally.SparesLeft > 0 {
+				tally.SparesLeft--
+				tally.Failovers++
+				ev.Kind = KindFailover
+			} else {
+				// Spares exhausted: the remap squeezes the model onto
+				// fewer chips, shedding one node's worth of capacity.
+				tally.Failovers++
+				tally.CapacityLosses++
+				capacity -= 1.0 / float64(p.Spares+1)
+				if capacity < 0.1 {
+					capacity = 0.1
+				}
+				ev.CapacityFrac = capacity
+				ev.Kind = KindCapacityLoss
+			}
+		}
+		events = append(events, ev)
+	}
+	tally.FinalCapacity = capacity
+	return events, tally
+}
+
+// Incidents strips the classification, returning the serving-visible
+// schedule serve.RunDegraded consumes.
+func Incidents(events []FaultEvent) []serve.Incident {
+	if len(events) == 0 {
+		return nil
+	}
+	incs := make([]serve.Incident, len(events))
+	for i, ev := range events {
+		incs[i] = ev.Incident
+	}
+	return incs
+}

@@ -39,6 +39,11 @@
 //
 //	tspsim -exp profile -series series.json -profile-report report.txt
 //
+// The -fleet-drain-threshold, -fleet-cadence-min, and -fleet-cadence-max
+// flags override the proactive-policy knobs of `-exp fleet`'s policy
+// ablation (0 keeps the stressed scenario's defaults); conflicting
+// cadence bounds are a usage error.
+//
 // The -checkpoint-every flag arms epoch-barrier checkpointing (a cadence
 // in cycles) on the recovery-ladder experiments, so replays resume from
 // the last clean barrier instead of cycle 0. -checkpoint-save writes one
@@ -91,6 +96,15 @@ var workersN = 1
 // (0 = off, replays restart from cycle 0). Reset by run().
 var checkpointEveryN int64
 
+// fleetDrainThresholdN, fleetCadenceMinN, and fleetCadenceMaxN carry the
+// -fleet-* policy flags into the fleet experiment's proactive-policy
+// ablation: 0 keeps the stressed scenario's defaults. Reset by run().
+var (
+	fleetDrainThresholdN float64
+	fleetCadenceMinN     float64
+	fleetCadenceMaxN     float64
+)
+
 var experiments = []struct {
 	name string
 	desc string
@@ -141,6 +155,9 @@ func run(argv []string, errw io.Writer) int {
 	workers := fs.Int("workers", 1, "cluster executor parallelism: 1 = sequential, n>1 = deterministic window-parallel execution")
 	windowMax := fs.Int64("window-max", 0, "cap on the window-parallel executor's adaptive lookahead horizon in cycles (0 = uncapped; otherwise >= one 650-cycle hop; 650 reproduces the fixed one-hop windows)")
 	ckptEvery := fs.Int64("checkpoint-every", 0, "epoch-barrier checkpoint cadence in cycles for the recovery-ladder experiments (0 = off: replays restart from cycle 0)")
+	fleetDrainThr := fs.Float64("fleet-drain-threshold", 0, "predictive-drain indicator threshold for the fleet experiment's policy ablation (0 = the stressed scenario's default)")
+	fleetCadMin := fs.Float64("fleet-cadence-min", 0, "adaptive checkpoint cadence floor in µs for the fleet experiment's policy ablation (0 = scenario default)")
+	fleetCadMax := fs.Float64("fleet-cadence-max", 0, "adaptive checkpoint cadence ceiling in µs for the fleet experiment's policy ablation (0 = scenario default)")
 	ckptSave := fs.String("checkpoint-save", "", "run the canonical ring workload with checkpointing and write its last snapshot to this file (skips -exp)")
 	restoreFrom := fs.String("restore-from", "", "decode the snapshot file, restore it into the canonical ring workload, and finish the run (skips -exp)")
 	seriesPath := fs.String("series", "", "write the barrier-sampled time series here (JSON, or CSV when the path ends in .csv)")
@@ -194,17 +211,35 @@ func run(argv []string, errw io.Writer) int {
 		fmt.Fprintf(errw, "-window-max must be >= one %d-cycle hop, or 0 for uncapped, got %d\n", route.HopCycles, *windowMax)
 		return 2
 	}
+	if *fleetDrainThr < 0 {
+		fmt.Fprintf(errw, "-fleet-drain-threshold must be >= 0 (0 = scenario default), got %g\n", *fleetDrainThr)
+		return 2
+	}
+	if *fleetCadMin < 0 || *fleetCadMax < 0 {
+		fmt.Fprintf(errw, "-fleet-cadence-min/-fleet-cadence-max must be >= 0 (0 = scenario default), got %g/%g\n", *fleetCadMin, *fleetCadMax)
+		return 2
+	}
+	if *fleetCadMin > 0 && *fleetCadMax > 0 && *fleetCadMin > *fleetCadMax {
+		fmt.Fprintf(errw, "-fleet-cadence-min %g conflicts with -fleet-cadence-max %g (need min <= max)\n", *fleetCadMin, *fleetCadMax)
+		return 2
+	}
 
 	// Executor parallelism: captured by every cluster built during the
 	// experiments. Restored afterwards so in-process callers (tests) see
 	// the default again.
 	workersN = *workers
 	checkpointEveryN = *ckptEvery
+	fleetDrainThresholdN = *fleetDrainThr
+	fleetCadenceMinN = *fleetCadMin
+	fleetCadenceMaxN = *fleetCadMax
 	prevWorkers := rtime.SetDefaultWorkers(*workers)
 	prevWindowMax := rtime.SetDefaultWindowMax(*windowMax)
 	defer func() {
 		workersN = 1
 		checkpointEveryN = 0
+		fleetDrainThresholdN = 0
+		fleetCadenceMinN = 0
+		fleetCadenceMaxN = 0
 		rtime.SetDefaultWorkers(prevWorkers)
 		rtime.SetDefaultWindowMax(prevWindowMax)
 	}()

@@ -94,6 +94,37 @@ func TestBadWorkersRejected(t *testing.T) {
 	}
 }
 
+// TestBadFleetPolicyFlagsRejected: conflicting adaptive-cadence bounds
+// or a negative drain threshold are usage errors reported before the
+// fleet experiment runs, matching the -workers convention.
+func TestBadFleetPolicyFlagsRejected(t *testing.T) {
+	muteStdout(t)
+	cases := []struct {
+		name string
+		argv []string
+		want string
+	}{
+		{"inverted cadence bounds",
+			[]string{"-exp", "fleet", "-fleet-cadence-min", "2e8", "-fleet-cadence-max", "5e7"},
+			"-fleet-cadence-min 2e+08 conflicts with -fleet-cadence-max"},
+		{"negative cadence floor",
+			[]string{"-exp", "fleet", "-fleet-cadence-min", "-1"},
+			"-fleet-cadence-min/-fleet-cadence-max must be >= 0"},
+		{"negative drain threshold",
+			[]string{"-exp", "fleet", "-fleet-drain-threshold", "-0.4"},
+			"-fleet-drain-threshold must be >= 0"},
+	}
+	for _, tc := range cases {
+		var errw bytes.Buffer
+		if code := run(tc.argv, &errw); code != 2 {
+			t.Fatalf("%s: exit code = %d, want 2; stderr:\n%s", tc.name, code, errw.String())
+		}
+		if !strings.Contains(errw.String(), tc.want) {
+			t.Errorf("%s: stderr missing %q:\n%s", tc.name, tc.want, errw.String())
+		}
+	}
+}
+
 // TestBadWindowMaxRejected: a window cap below one hop would shrink the
 // conservative lookahead floor, so anything in (0, HopCycles) is refused.
 func TestBadWindowMaxRejected(t *testing.T) {

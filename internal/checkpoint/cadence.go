@@ -1,0 +1,161 @@
+package checkpoint
+
+// Adaptive checkpoint cadence: a deterministic controller that tightens
+// the capture interval under fault bursts and relaxes it again in quiet
+// periods, with bounded hysteresis so it cannot oscillate. The controller
+// is pure arithmetic over the fault timestamps it observes — no clocks,
+// no randomness — so identical fault histories always walk the identical
+// cadence trajectory. It is unit-agnostic: workloads feeds it host
+// microseconds, the recovery ladder feeds it core cycles.
+
+import (
+	"fmt"
+	"math"
+)
+
+// CadencePolicy bounds and paces the adaptation. The zero value is
+// disabled: the cadence never moves.
+type CadencePolicy struct {
+	// Min and Max bound the cadence (same unit as the observed
+	// timestamps). Both must be positive with Min <= Max to enable.
+	Min, Max float64
+	// Step is the multiplicative move per adjustment (tighten divides,
+	// relax multiplies). Values <= 1 take the default of 2.
+	Step float64
+	// BurstFaults faults inside BurstWindow tighten the cadence one
+	// step. BurstFaults <= 1 defaults to 3.
+	BurstFaults int
+	// BurstWindow is the burst-detection span. <= 0 defaults to
+	// 8 x Max — several quiet cadences' worth of history.
+	BurstWindow float64
+	// Quiet is the fault-free span that relaxes the cadence one step.
+	// <= 0 defaults to 4 x BurstWindow.
+	Quiet float64
+}
+
+// Enabled reports whether the policy adapts at all.
+func (p CadencePolicy) Enabled() bool { return p.Min > 0 && p.Max >= p.Min }
+
+// Validate rejects non-physical policies. The zero value (disabled) is
+// valid.
+func (p CadencePolicy) Validate() error {
+	if p.Min == 0 && p.Max == 0 && p.Step == 0 && p.BurstFaults == 0 && p.BurstWindow == 0 && p.Quiet == 0 {
+		return nil
+	}
+	if p.Min <= 0 || p.Max < p.Min || math.IsNaN(p.Min) || math.IsInf(p.Max, 0) {
+		return fmt.Errorf("checkpoint: cadence bounds [%g, %g] need 0 < min <= max", p.Min, p.Max)
+	}
+	if p.Step < 0 || math.IsNaN(p.Step) {
+		return fmt.Errorf("checkpoint: cadence step %g must be >= 0 (<= 1 means default)", p.Step)
+	}
+	if p.BurstFaults < 0 || p.BurstWindow < 0 || p.Quiet < 0 {
+		return fmt.Errorf("checkpoint: negative cadence pacing %+v", p)
+	}
+	return nil
+}
+
+// withDefaults resolves the optional knobs.
+func (p CadencePolicy) withDefaults() CadencePolicy {
+	if p.Step <= 1 {
+		p.Step = 2
+	}
+	if p.BurstFaults <= 1 {
+		p.BurstFaults = 3
+	}
+	if p.BurstWindow <= 0 {
+		p.BurstWindow = 8 * p.Max
+	}
+	if p.Quiet <= 0 {
+		p.Quiet = 4 * p.BurstWindow
+	}
+	return p
+}
+
+// CadenceController carries the adaptation state across observed faults.
+type CadenceController struct {
+	pol     CadencePolicy
+	cur     float64
+	recent  []float64 // fault times inside the burst window, ascending
+	lastAt  float64   // latest observed fault (relax reference point)
+	moved   bool      // any fault observed yet
+	tighten int
+	relax   int
+}
+
+// NewCadenceController starts at initial clamped into [Min, Max]. A
+// disabled policy pins the cadence at initial forever (and initial <= 0
+// falls back to Max so the controller is always usable when enabled).
+func NewCadenceController(pol CadencePolicy, initial float64) *CadenceController {
+	c := &CadenceController{pol: pol.withDefaults(), cur: initial}
+	if !pol.Enabled() {
+		return c
+	}
+	if c.cur <= 0 {
+		c.cur = c.pol.Max
+	}
+	if c.cur < c.pol.Min {
+		c.cur = c.pol.Min
+	}
+	if c.cur > c.pol.Max {
+		c.cur = c.pol.Max
+	}
+	return c
+}
+
+// Cadence returns the interval currently in effect.
+func (c *CadenceController) Cadence() float64 { return c.cur }
+
+// Tightens and Relaxes count the adjustments taken so far.
+func (c *CadenceController) Tightens() int { return c.tighten }
+func (c *CadenceController) Relaxes() int  { return c.relax }
+
+// Observe folds one fault at time at into the controller and returns the
+// cadence in effect when that fault struck — i.e. relaxation earned by
+// the quiet gap before the fault applies first, then the fault itself
+// may complete a burst and tighten the cadence for what follows.
+//
+// Hysteresis is bounded on both sides: a tighten clears the burst window
+// (the same faults can never tighten twice), and relaxation is granted
+// one bounded batch of steps per observation (floor(gap/Quiet), capped
+// at the steps needed to reach Max), so the controller cannot oscillate
+// faster than the fault process itself moves.
+func (c *CadenceController) Observe(at float64) float64 {
+	if !c.pol.Enabled() {
+		return c.cur
+	}
+	// Relax first: every full Quiet span since the previous fault earns
+	// one widening step, applied before this fault's stall is priced.
+	if c.moved && at > c.lastAt {
+		steps := int((at - c.lastAt) / c.pol.Quiet)
+		for ; steps > 0 && c.cur < c.pol.Max; steps-- {
+			c.cur *= c.pol.Step
+			if c.cur > c.pol.Max {
+				c.cur = c.pol.Max
+			}
+			c.relax++
+		}
+	}
+	c.moved = true
+	if at > c.lastAt {
+		c.lastAt = at
+	}
+	inEffect := c.cur
+	// Burst detection: drop history outside the window, then count this
+	// fault.
+	keep := c.recent[:0]
+	for _, t := range c.recent {
+		if at-t < c.pol.BurstWindow {
+			keep = append(keep, t)
+		}
+	}
+	c.recent = append(keep, at)
+	if len(c.recent) >= c.pol.BurstFaults && c.cur > c.pol.Min {
+		c.cur /= c.pol.Step
+		if c.cur < c.pol.Min {
+			c.cur = c.pol.Min
+		}
+		c.tighten++
+		c.recent = c.recent[:0] // hysteresis: a burst spends its faults
+	}
+	return inEffect
+}

@@ -1,0 +1,109 @@
+package checkpoint
+
+import "testing"
+
+func adaptivePol() CadencePolicy {
+	return CadencePolicy{Min: 1e6, Max: 8e6, Step: 2, BurstFaults: 3, BurstWindow: 1e7, Quiet: 4e7}
+}
+
+// A fault burst tightens one bounded step at a time; a long quiet span
+// relaxes back toward Max; the cadence never leaves [Min, Max].
+func TestCadenceControllerTightenRelax(t *testing.T) {
+	c := NewCadenceController(adaptivePol(), 8e6)
+	if got := c.Cadence(); got != 8e6 {
+		t.Fatalf("initial cadence %g, want 8e6", got)
+	}
+	// Three faults inside one burst window: the third completes the burst.
+	c.Observe(1e6)
+	c.Observe(2e6)
+	if got := c.Observe(3e6); got != 8e6 {
+		t.Errorf("third burst fault priced at %g, want the pre-tighten 8e6", got)
+	}
+	if c.Cadence() != 4e6 || c.Tightens() != 1 {
+		t.Errorf("after burst: cadence %g tightens %d, want 4e6 / 1", c.Cadence(), c.Tightens())
+	}
+	// Hysteresis: the spent burst can't tighten again on the next fault.
+	c.Observe(4e6)
+	if c.Tightens() != 1 {
+		t.Errorf("spent burst re-tightened: %d", c.Tightens())
+	}
+	// Two quiet spans relax two steps, clamped at Max.
+	c.Observe(4e6 + 2*4e7 + 1)
+	if c.Cadence() != 8e6 || c.Relaxes() < 1 {
+		t.Errorf("after quiet: cadence %g relaxes %d, want back at 8e6", c.Cadence(), c.Relaxes())
+	}
+}
+
+// The cadence is clamped into [Min, Max] no matter how hostile the fault
+// history, and the trajectory is deterministic.
+func TestCadenceControllerBoundsDeterministic(t *testing.T) {
+	times := make([]float64, 200)
+	at := 0.0
+	for i := range times {
+		at += float64((i%7)+1) * 1e6 // bursty then sparse, repeating
+		times[i] = at
+	}
+	run := func() []float64 {
+		c := NewCadenceController(adaptivePol(), 5e6)
+		out := make([]float64, len(times))
+		for i, ft := range times {
+			out[i] = c.Observe(ft)
+			if c.Cadence() < 1e6 || c.Cadence() > 8e6 {
+				t.Fatalf("cadence %g escaped [1e6, 8e6] at fault %d", c.Cadence(), i)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectory diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// A disabled policy pins the cadence: Observe never moves it.
+func TestCadenceControllerDisabled(t *testing.T) {
+	c := NewCadenceController(CadencePolicy{}, 5e6)
+	for i := 0; i < 50; i++ {
+		if got := c.Observe(float64(i) * 1e5); got != 5e6 {
+			t.Fatalf("disabled controller moved to %g", got)
+		}
+	}
+	if c.Tightens() != 0 || c.Relaxes() != 0 {
+		t.Errorf("disabled controller counted adjustments: %d/%d", c.Tightens(), c.Relaxes())
+	}
+}
+
+// Min == Max is enabled but immobile — the degenerate static policy.
+func TestCadenceControllerPinned(t *testing.T) {
+	pol := CadencePolicy{Min: 5e6, Max: 5e6}
+	c := NewCadenceController(pol, 0) // initial <= 0 falls back to Max
+	for i := 0; i < 20; i++ {
+		if got := c.Observe(float64(i+1) * 1e5); got != 5e6 {
+			t.Fatalf("pinned controller moved to %g", got)
+		}
+	}
+}
+
+func TestCadencePolicyValidate(t *testing.T) {
+	cases := []struct {
+		pol CadencePolicy
+		ok  bool
+	}{
+		{CadencePolicy{}, true},
+		{adaptivePol(), true},
+		{CadencePolicy{Min: 5e6, Max: 5e6}, true},
+		{CadencePolicy{Min: -1, Max: 5}, false},
+		{CadencePolicy{Min: 8, Max: 2}, false},
+		{CadencePolicy{Min: 0, Max: 5}, false},
+		{CadencePolicy{Min: 1, Max: 8, Step: -2}, false},
+		{CadencePolicy{Min: 1, Max: 8, BurstFaults: -1}, false},
+		{CadencePolicy{Min: 1, Max: 8, Quiet: -1}, false},
+	}
+	for i, tc := range cases {
+		if err := tc.pol.Validate(); (err == nil) != tc.ok {
+			t.Errorf("case %d (%+v): got err %v, want ok=%v", i, tc.pol, err, tc.ok)
+		}
+	}
+}

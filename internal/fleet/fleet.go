@@ -39,11 +39,25 @@ const (
 
 // TrafficClass is one slice of the arrival stream: Share of requests
 // whose service time is ServiceMult times the system's base ServiceUS
-// (e.g. interactive short sequences vs long batch scoring).
+// (e.g. interactive short sequences vs long batch scoring). A class may
+// carry its own SLO target and shed bound; zero values inherit the
+// fleet-wide Config knobs. Priority orders classes under the
+// priority-shedding policy: 0 is the most important tier, higher
+// priorities shed earlier when ShedPolicy is armed.
 type TrafficClass struct {
 	Name        string  `json:"name"`
 	Share       float64 `json:"share"`
 	ServiceMult float64 `json:"service_mult"`
+	// SLOTargetUS overrides Config.SLOTargetUS for this class (0 =
+	// inherit): a batch request can be "good" at a latency that would
+	// violate the interactive tier's bound.
+	SLOTargetUS float64 `json:"slo_target_us,omitempty"`
+	// ShedAboveUS overrides Config.ShedAboveUS for this class (0 =
+	// inherit).
+	ShedAboveUS float64 `json:"shed_above_us,omitempty"`
+	// Priority is the shed order under Policy.Shed: 0 first-class,
+	// larger values shed earlier.
+	Priority int `json:"priority,omitempty"`
 }
 
 // Config describes a fleet scenario.
@@ -83,6 +97,10 @@ type Config struct {
 	// WarmupUS is the standby activation latency: a spare scheduled at t
 	// serves from t+WarmupUS.
 	WarmupUS float64
+	// Policy is the proactive layer: predictive draining, standby
+	// pre-warming, and per-class priority shedding. The zero value
+	// reproduces the reactive-only engine byte-for-byte.
+	Policy Policy
 }
 
 // withDefaults fills the optional knobs.
@@ -90,26 +108,54 @@ func (c Config) withDefaults() Config {
 	if c.WindowUS == 0 {
 		c.WindowUS = 3600 * 1e6 // one simulated hour
 	}
+	c.Policy = c.Policy.withDefaults(c.Fault)
 	return c
 }
 
-// Validate rejects non-physical configs.
+// Validate rejects non-physical configs, one named complaint per field
+// so a bad sweep point says which knob broke instead of silently
+// producing an empty report.
 func (c Config) Validate() error {
-	if c.Systems < 1 || c.Standby < 0 || c.ServiceUS <= 0 || c.PipelineDepth < 1 ||
-		c.ArrivalRatePerSec <= 0 || c.HorizonDays <= 0 || c.SLOTargetUS <= 0 ||
-		c.WindowUS <= 0 || c.ShedAboveUS < 0 || c.WarmupUS < 0 {
-		return fmt.Errorf("fleet: invalid config %+v", c)
+	switch {
+	case c.Systems < 1:
+		return fmt.Errorf("fleet: Systems %d: need at least one active system", c.Systems)
+	case c.Standby < 0:
+		return fmt.Errorf("fleet: Standby %d must be >= 0", c.Standby)
+	case c.ServiceUS <= 0 || math.IsNaN(c.ServiceUS) || math.IsInf(c.ServiceUS, 0):
+		return fmt.Errorf("fleet: ServiceUS %g must be positive and finite", c.ServiceUS)
+	case c.PipelineDepth < 1:
+		return fmt.Errorf("fleet: PipelineDepth %d must be >= 1", c.PipelineDepth)
+	case c.ArrivalRatePerSec <= 0 || math.IsNaN(c.ArrivalRatePerSec):
+		return fmt.Errorf("fleet: ArrivalRatePerSec %g must be positive", c.ArrivalRatePerSec)
+	case c.HorizonDays <= 0 || math.IsNaN(c.HorizonDays) || math.IsInf(c.HorizonDays, 0):
+		return fmt.Errorf("fleet: HorizonDays %g must be positive and finite", c.HorizonDays)
+	case c.SLOTargetUS <= 0 || math.IsNaN(c.SLOTargetUS):
+		return fmt.Errorf("fleet: SLOTargetUS %g must be positive", c.SLOTargetUS)
+	case c.WindowUS <= 0 || math.IsNaN(c.WindowUS):
+		return fmt.Errorf("fleet: WindowUS %g must be positive", c.WindowUS)
+	case c.ShedAboveUS < 0 || math.IsNaN(c.ShedAboveUS):
+		return fmt.Errorf("fleet: ShedAboveUS %g must be >= 0", c.ShedAboveUS)
+	case c.WarmupUS < 0 || math.IsNaN(c.WarmupUS):
+		return fmt.Errorf("fleet: WarmupUS %g must be >= 0", c.WarmupUS)
 	}
 	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if err := c.Policy.Validate(); err != nil {
 		return err
 	}
 	if len(c.Mix) > 0 {
 		sum := 0.0
 		for _, cl := range c.Mix {
-			if cl.Share <= 0 || cl.ServiceMult <= 0 {
+			if cl.Share <= 0 || cl.ServiceMult <= 0 || cl.Priority < 0 ||
+				cl.SLOTargetUS < 0 || cl.ShedAboveUS < 0 ||
+				math.IsNaN(cl.Share) || math.IsNaN(cl.ServiceMult) {
 				return fmt.Errorf("fleet: invalid traffic class %+v", cl)
 			}
 			sum += cl.Share
+		}
+		if sum <= 0 {
+			return fmt.Errorf("fleet: traffic-class shares sum to %g, want a positive sum of 1", sum)
 		}
 		if math.Abs(sum-1) > 1e-9 {
 			return fmt.Errorf("fleet: traffic-class shares sum to %g, want 1", sum)
@@ -135,6 +181,15 @@ type sysState struct {
 	replays   int
 	failovers int
 	losses    int
+	// predictive-drain state: the leading-indicator feed, the windowed
+	// health tracker over it, and the active drain's expiry.
+	indicators   []workloads.IndicatorSample
+	nextInd      int
+	tracker      *healthTracker
+	drainUntilUS float64
+	drains       int
+	drainHit     bool // current drain absorbed an incident already
+	idleReplays  int  // replays that landed on a drained-idle system
 	// obs series handles (nil when telemetry is off).
 	backlogSeries  *obs.Series
 	capacitySeries *obs.Series
@@ -143,25 +198,41 @@ type sysState struct {
 // routable reports whether the system accepts requests at t.
 func (s *sysState) routable(t float64) bool { return s.activeAtUS <= t }
 
+// draining reports whether the system is quiescing ahead of a predicted
+// fault (state lives on the serve.System so serve-level callers see it).
+func (s *sysState) draining() bool { return s.sys.Draining() }
+
 // engine is one Run's working state.
 type engine struct {
 	cfg       Config
 	horizonUS float64
 	systems   []*sysState
-	// policy state: index of the next unscheduled standby.
+	// policy state: index of the next unscheduled standby, plus the
+	// pre-warm queue — drain triggers that started warming a standby,
+	// consumed in order by capacity-loss activations.
 	nextStandby int
-	// rolling-window SLO accounting.
+	prewarmedAt []float64
+	// rolling-window SLO accounting, fleet-wide and per traffic class.
 	winGood, winTotal []int64
 	hist              *latHist
+	classWinGood      [][]int64
+	classWinTotal     [][]int64
+	classHist         []*latHist
 	report            SLOReport
 	// obs handles (nil-safe when no recorder is installed).
 	rec                                         *obs.Recorder
 	reqCount, shedCount, rebalCount, violCount  *obs.Counter
 	incCount, replayCount, failCount, lossCount *obs.Counter
 	activationCount                             *obs.Counter
-	activeSeries                                *obs.Series
+	drainCount, drainHitCount, drainExpCount    *obs.Counter
+	drainedReqCount, prewarmCount, idleCount    *obs.Counter
+	priShedCount                                *obs.Counter
+	activeSeries, drainingSeries                *obs.Series
 	sampleEveryUS, nextSampleUS                 float64
 }
+
+// fleetTid is the PidHost trace track carrying fleet policy instants.
+const fleetTid = 2
 
 // Run simulates the fleet and returns its SLO report. The same config
 // always produces a byte-identical report (see SLOReport.JSON).
@@ -173,16 +244,22 @@ func Run(cfg Config) (*SLOReport, error) {
 	e := &engine{cfg: cfg, horizonUS: cfg.HorizonDays * 24 * 3600 * 1e6}
 
 	// Per-system fault schedules, forked by stable id: order-independent,
-	// so building system 7's schedule never perturbs system 3's.
+	// so building system 7's schedule never perturbs system 3's. The
+	// leading indicators ride the same forked stream (sub-forked by
+	// stable id), so arming them never moves a fault.
 	total := cfg.Systems + cfg.Standby
 	root := sim.NewRNG(cfg.Seed)
 	e.systems = make([]*sysState, total)
 	for i := range e.systems {
-		events, tally := cfg.Fault.Draw(root.Fork(sysStreamBase+uint64(i)), e.horizonUS)
+		events, indicators, tally := cfg.Fault.DrawWithIndicators(root.Fork(sysStreamBase+uint64(i)), e.horizonUS)
 		st := &sysState{
-			sys:    serve.NewSystem(cfg.ServiceUS, cfg.PipelineDepth),
-			events: events,
-			tally:  tally,
+			sys:        serve.NewSystem(cfg.ServiceUS, cfg.PipelineDepth),
+			events:     events,
+			tally:      tally,
+			indicators: indicators,
+		}
+		if cfg.Policy.Drain.Enabled() {
+			st.tracker = newHealthTracker(cfg.Policy.Drain.Window)
 		}
 		if i >= cfg.Systems {
 			st.standby = true
@@ -196,7 +273,25 @@ func Run(cfg Config) (*SLOReport, error) {
 	e.winGood = make([]int64, nWin)
 	e.winTotal = make([]int64, nWin)
 	e.hist = newLatHist(cfg.SLOTargetUS)
+	if len(cfg.Mix) > 0 {
+		e.classWinGood = make([][]int64, len(cfg.Mix))
+		e.classWinTotal = make([][]int64, len(cfg.Mix))
+		e.classHist = make([]*latHist, len(cfg.Mix))
+		for ci, cl := range cfg.Mix {
+			e.classWinGood[ci] = make([]int64, nWin)
+			e.classWinTotal[ci] = make([]int64, nWin)
+			e.classHist[ci] = newLatHist(e.classTarget(cl))
+		}
+	}
 	e.wireObs()
+	for ci, cl := range cfg.Mix {
+		e.report.Classes = append(e.report.Classes, ClassReport{
+			Name:        cl.Name,
+			Priority:    cl.Priority,
+			SLOTargetUS: e.classTarget(cl),
+			ShedAboveUS: func() float64 { b, _ := e.shedBound(ci, true); return b }(),
+		})
+	}
 
 	arr := root.Fork(arrivalStream)
 	mix := root.Fork(mixStream)
@@ -218,39 +313,53 @@ func Run(cfg Config) (*SLOReport, error) {
 		// Traffic class (its own stream, so enabling a mix never perturbs
 		// the arrival process).
 		mult := 1.0
+		class := -1
 		if len(cfg.Mix) > 0 {
 			x := mix.Float64()
 			acc := 0.0
-			for _, cl := range cfg.Mix {
+			for ci, cl := range cfg.Mix {
 				acc += cl.Share
 				mult = cl.ServiceMult
+				class = ci
 				if x < acc {
 					break
 				}
 			}
 		}
-		// Activate every incident that struck before this arrival, on
-		// every serving system, in index order — deterministic.
+		// Advance every system through the incidents, leading indicators,
+		// and drain expiries that matured before this arrival, in index
+		// order and per-system time order — deterministic.
 		for _, st := range e.systems {
-			e.catchUp(st, t)
+			e.advance(st, t)
 		}
 		e.sample(t)
 
 		// Route: requests have an affinity home (round-robin over the
 		// initial actives); a request leaves home only when home cannot
-		// start it immediately — a stall or a backlog — and then joins
-		// the system with the earliest free slot (drain-and-redistribute).
+		// start it immediately — a stall, a backlog, or a predictive
+		// drain — and then joins the non-draining system with the
+		// earliest free slot (drain-and-redistribute). Draining systems
+		// take traffic again only when every routable system drains.
 		home := int(reqIdx % int64(cfg.Systems))
 		reqIdx++
 		chosen, bestEst := home, e.systems[home].sys.EarliestStart(t)
-		if bestEst > t {
+		homeDraining := e.systems[home].draining()
+		if bestEst > t || homeDraining {
+			if homeDraining {
+				chosen, bestEst = -1, math.Inf(1)
+			}
 			for i, st := range e.systems {
-				if !st.routable(t) {
+				if !st.routable(t) || st.draining() {
 					continue
 				}
 				if est := st.sys.EarliestStart(t); est < bestEst {
 					chosen, bestEst = i, est
 				}
+			}
+			if chosen < 0 {
+				// The whole routable fleet is draining: the drain is
+				// advisory, home serves anyway.
+				chosen, bestEst = home, e.systems[home].sys.EarliestStart(t)
 			}
 		}
 
@@ -258,26 +367,68 @@ func Run(cfg Config) (*SLOReport, error) {
 		e.winTotal[w]++
 		e.report.Requests++
 		e.reqCount.Inc()
+		if class >= 0 {
+			e.classWinTotal[class][w]++
+			e.report.Classes[class].Requests++
+		}
 
-		// Shed-first: when even the best system's wait exceeds the bound,
-		// reject instead of queueing — an error-budget hit, not a latency
-		// sample.
-		if cfg.ShedAboveUS > 0 && bestEst-t > cfg.ShedAboveUS {
+		// Shed-first: when even the best system's wait exceeds the
+		// class's bound, reject instead of queueing — an error-budget
+		// hit, not a latency sample. Priority shedding tightens the
+		// bound of lower-priority classes so they shed first. A drain is
+		// strictly advisory: before shedding, the router retries with
+		// draining systems included — a drain reorders traffic but must
+		// never shed a request the fleet had capacity for.
+		bound, tightened := e.shedBound(class, e.cfg.Policy.Shed.Enabled() && e.underPressure(t))
+		if e.systems[chosen].sys.OverBound(t, bound) {
+			for i, st := range e.systems {
+				if !st.routable(t) || !st.draining() {
+					continue
+				}
+				if est := st.sys.EarliestStart(t); est < bestEst {
+					chosen, bestEst = i, est
+				}
+			}
+		}
+		if e.systems[chosen].sys.OverBound(t, bound) {
 			e.report.Shed++
 			e.shedCount.Inc()
+			if class >= 0 {
+				e.report.Classes[class].Shed++
+				if tightened && !e.systems[chosen].sys.OverBound(t, e.baseBound(class)) {
+					// Shed only because priority shedding tightened the
+					// bound — the cost side of protecting tier 0.
+					e.report.PriorityShed++
+					e.priShedCount.Inc()
+					e.instant("fleet.priority_shed", t)
+				}
+			}
 			continue
 		}
 		if chosen != home {
 			e.report.Rebalanced++
 			e.rebalCount.Inc()
+			if homeDraining {
+				e.report.DrainedRequests++
+				e.drainedReqCount.Inc()
+			}
 		}
 		st := e.systems[chosen]
 		_, done := st.sys.Admit(t, mult)
 		st.requests++
 		lat := done - t
 		e.hist.add(lat)
-		if lat <= cfg.SLOTargetUS {
+		target := cfg.SLOTargetUS
+		if class >= 0 {
+			target = e.classTarget(cfg.Mix[class])
+			e.classHist[class].add(lat)
+			e.report.Classes[class].Served++
+		}
+		if lat <= target {
 			e.winGood[w]++
+			if class >= 0 {
+				e.classWinGood[class][w]++
+			}
 		} else {
 			e.violCount.Inc()
 		}
@@ -285,17 +436,65 @@ func Run(cfg Config) (*SLOReport, error) {
 	// Flush incidents that struck after the last arrival so per-system
 	// availability covers the whole horizon.
 	for _, st := range e.systems {
-		e.catchUp(st, e.horizonUS)
+		e.advance(st, e.horizonUS)
 	}
 	e.finish()
 	return &e.report, nil
 }
 
-// catchUp activates st's incidents with StartUS <= t. A standby system
-// first fast-forwards past the fault history that accrued while it was
-// powered off: hardware state (lost capacity) applies, serving-visible
-// stalls do not.
-func (e *engine) catchUp(st *sysState, t float64) {
+// classTarget resolves a class's SLO target against the fleet default.
+func (e *engine) classTarget(cl TrafficClass) float64 {
+	if cl.SLOTargetUS > 0 {
+		return cl.SLOTargetUS
+	}
+	return e.cfg.SLOTargetUS
+}
+
+// baseBound resolves a class's shed bound before priority tightening.
+func (e *engine) baseBound(class int) float64 {
+	if class >= 0 && e.cfg.Mix[class].ShedAboveUS > 0 {
+		return e.cfg.Mix[class].ShedAboveUS
+	}
+	return e.cfg.ShedAboveUS
+}
+
+// shedBound resolves the effective shed bound for a class, applying the
+// priority-shedding factor when the fleet is under pressure, and reports
+// whether the bound was tightened below the class's base bound.
+// Tightening only under pressure keeps calm windows untouched: priority
+// shedding sacrifices the batch tier to protect tier 0 exactly when a
+// fault is impending or recovering, not all the time.
+func (e *engine) shedBound(class int, pressure bool) (float64, bool) {
+	bound := e.baseBound(class)
+	if class < 0 || bound <= 0 || !pressure || !e.cfg.Policy.Shed.Enabled() {
+		return bound, false
+	}
+	if p := e.cfg.Mix[class].Priority; p > 0 {
+		return bound * math.Pow(e.cfg.Policy.Shed.PriorityFactor, float64(p)), true
+	}
+	return bound, false
+}
+
+// underPressure reports whether any routable system is draining or
+// inside a recovery stall at t — the signal that arms priority
+// shedding.
+func (e *engine) underPressure(t float64) bool {
+	for _, st := range e.systems {
+		if st.routable(t) && (st.draining() || st.sys.InStall(t)) {
+			return true
+		}
+	}
+	return false
+}
+
+// advance walks st forward to t, processing its incidents, leading
+// indicators, and drain expiry strictly in time order — an indicator
+// ramp that matured before its fault triggers the drain first, so the
+// fault lands on an already-drained system even when one arrival gap
+// spans both. A standby system first fast-forwards past the fault
+// history that accrued while it was powered off: hardware state (lost
+// capacity) applies, serving-visible stalls do not.
+func (e *engine) advance(st *sysState, t float64) {
 	if st.activeAtUS > t {
 		return
 	}
@@ -305,38 +504,158 @@ func (e *engine) catchUp(st *sysState, t float64) {
 			st.sys.SetCapacity(st.events[st.next].CapacityFrac)
 			st.next++
 		}
-	}
-	for st.next < len(st.events) && st.events[st.next].StartUS <= t {
-		ev := st.events[st.next]
-		st.next++
-		nextStart := math.Inf(1)
-		if st.next < len(st.events) {
-			nextStart = st.events[st.next].StartUS
+		// Indicator history from the powered-off era predicts nothing
+		// the activated system can still act on.
+		for st.nextInd < len(st.indicators) && st.indicators[st.nextInd].AtUS < st.activeAtUS {
+			st.nextInd++
 		}
-		st.sys.Activate(ev.Incident, nextStart)
-		st.incidents++
-		e.incCount.Inc()
-		switch ev.Kind {
-		case workloads.KindReplay:
-			st.replays++
-			e.replayCount.Inc()
-		case workloads.KindFailover:
-			st.failovers++
-			e.failCount.Inc()
-		case workloads.KindCapacityLoss:
-			st.losses++
-			e.lossCount.Inc()
-			// Spare policy: a post-spare capacity loss is the signal that
-			// the fleet is short a system — power on the next standby.
-			if e.nextStandby < len(e.systems) {
-				sp := e.systems[e.nextStandby]
-				sp.activeAtUS = ev.StartUS + e.cfg.WarmupUS
-				e.nextStandby++
-				e.report.SpareActivations++
-				e.activationCount.Inc()
+	}
+	drain := e.cfg.Policy.Drain
+	for {
+		nextEv, nextInd, nextRel := math.Inf(1), math.Inf(1), math.Inf(1)
+		if st.next < len(st.events) {
+			nextEv = st.events[st.next].StartUS
+		}
+		if drain.Enabled() && st.nextInd < len(st.indicators) {
+			nextInd = st.indicators[st.nextInd].AtUS
+		}
+		if st.draining() {
+			nextRel = st.drainUntilUS
+		}
+		switch {
+		case nextInd <= t && nextInd <= nextEv && nextInd <= nextRel:
+			s := st.indicators[st.nextInd]
+			st.nextInd++
+			if st.tracker.push(s.Level, drain.Threshold) {
+				e.triggerDrain(st, s.AtUS)
+			}
+		case nextRel <= t && nextRel <= nextEv:
+			// Hold expired with no incident: a false positive — release.
+			e.releaseDrain(st, nextRel, false)
+		case nextEv <= t:
+			e.activateEvent(st, st.events[st.next])
+		default:
+			return
+		}
+	}
+}
+
+// triggerDrain starts draining st at time at (if it isn't already) and,
+// under the pre-warm policy, starts warming the next standby.
+func (e *engine) triggerDrain(st *sysState, at float64) {
+	if st.draining() || st.sys.InStall(at) {
+		// Already draining, or the fault already landed — nothing to
+		// pre-empt.
+		return
+	}
+	st.sys.SetDraining(true)
+	st.drainUntilUS = at + e.cfg.Policy.Drain.HoldUS
+	st.drainHit = false
+	st.drains++
+	e.report.Drains++
+	e.drainCount.Inc()
+	e.instant("fleet.drain", at)
+	if e.cfg.Policy.Drain.Prewarm && e.nextStandby+len(e.prewarmedAt) < len(e.systems) {
+		e.prewarmedAt = append(e.prewarmedAt, at)
+		e.report.Prewarms++
+		e.prewarmCount.Inc()
+		e.instant("fleet.prewarm", at)
+	}
+}
+
+// releaseDrain ends st's drain at time at. hit records whether an
+// incident landed inside the drain (a true positive) or the hold simply
+// expired.
+func (e *engine) releaseDrain(st *sysState, at float64, hit bool) {
+	st.sys.SetDraining(false)
+	st.tracker.reset()
+	if hit {
+		e.report.DrainHits++
+		e.drainHitCount.Inc()
+	} else {
+		e.report.DrainsExpired++
+		e.drainExpCount.Inc()
+	}
+	e.instant("fleet.drain_release", at)
+}
+
+// activateEvent applies one matured incident to st. A fault landing on
+// a drained-idle system interrupts no in-flight work, so the replay
+// share of its recovery stall collapses to IdleStallFrac (floored at
+// the checkpoint restore cost): a pure replay pays almost nothing, and
+// a node loss still pays the full rebuild on the remapped TSPs but not
+// the replay that normally precedes it. A capacity loss consumes a
+// pre-warmed standby when one is warming, hiding the already-paid share
+// of the warmup.
+func (e *engine) activateEvent(st *sysState, ev workloads.FaultEvent) {
+	st.next++
+	nextStart := math.Inf(1)
+	if st.next < len(st.events) {
+		nextStart = st.events[st.next].StartUS
+	}
+	if st.draining() {
+		if st.sys.Idle(ev.StartUS) {
+			rebuild := 0.0
+			if ev.Kind != workloads.KindReplay {
+				rebuild = e.cfg.Fault.ReplayStallUS
+			}
+			reduced := rebuild + (ev.ReplayUS-rebuild)*e.cfg.Policy.Drain.IdleStallFrac
+			if r := rebuild + e.cfg.Fault.Checkpoint.RestoreUS; reduced < r {
+				reduced = r
+			}
+			if reduced < ev.ReplayUS {
+				ev.ReplayUS = reduced
+				st.idleReplays++
+				e.report.IdleReplays++
+				e.idleCount.Inc()
+				e.instant("fleet.idle_replay", ev.StartUS)
 			}
 		}
+		e.releaseDrain(st, ev.StartUS, true)
 	}
+	st.sys.Activate(ev.Incident, nextStart)
+	st.incidents++
+	e.incCount.Inc()
+	switch ev.Kind {
+	case workloads.KindReplay:
+		st.replays++
+		e.replayCount.Inc()
+	case workloads.KindFailover:
+		st.failovers++
+		e.failCount.Inc()
+	case workloads.KindCapacityLoss:
+		st.losses++
+		e.lossCount.Inc()
+		// Spare policy: a post-spare capacity loss is the signal that
+		// the fleet is short a system — power on the next standby. A
+		// pre-warmed standby only owes the unpaid share of its warmup.
+		if e.nextStandby < len(e.systems) {
+			sp := e.systems[e.nextStandby]
+			sp.activeAtUS = ev.StartUS + e.cfg.WarmupUS
+			if len(e.prewarmedAt) > 0 {
+				ready := e.prewarmedAt[0] + e.cfg.WarmupUS
+				e.prewarmedAt = e.prewarmedAt[1:]
+				if ready < ev.StartUS {
+					ready = ev.StartUS
+				}
+				sp.activeAtUS = ready
+				e.report.PrewarmHits++
+				e.instant("fleet.prewarm_hit", ev.StartUS)
+			}
+			e.nextStandby++
+			e.report.SpareActivations++
+			e.activationCount.Inc()
+		}
+	}
+}
+
+// instant stamps a policy decision on the fleet trace track (no-op
+// without a recorder).
+func (e *engine) instant(name string, atUS float64) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.InstantCycles(obs.PidHost, fleetTid, name, clock.CyclesOfUS(atUS))
 }
 
 // wireObs resolves metric handles; all are nil-safe when no recorder is
@@ -355,6 +674,18 @@ func (e *engine) wireObs() {
 	e.failCount = e.rec.Counter("fleet.failovers")
 	e.lossCount = e.rec.Counter("fleet.capacity_losses")
 	e.activationCount = e.rec.Counter("fleet.spare_activations")
+	if e.cfg.Policy.Drain.Enabled() {
+		e.rec.SetThreadName(obs.PidHost, fleetTid, "fleet-policy")
+		e.drainCount = e.rec.Counter("fleet.policy.drains")
+		e.drainHitCount = e.rec.Counter("fleet.policy.drain_hits")
+		e.drainExpCount = e.rec.Counter("fleet.policy.drains_expired")
+		e.drainedReqCount = e.rec.Counter("fleet.policy.drained_requests")
+		e.prewarmCount = e.rec.Counter("fleet.policy.prewarms")
+		e.idleCount = e.rec.Counter("fleet.policy.idle_replays")
+	}
+	if e.cfg.Policy.Shed.Enabled() {
+		e.priShedCount = e.rec.Counter("fleet.policy.priority_shed")
+	}
 	if e.rec.SeriesCadence() > 0 {
 		// Per-system backlog/capacity tracks plus the active-system count,
 		// sampled on a deterministic simulated-time grid (512 points over
@@ -362,6 +693,9 @@ func (e *engine) wireObs() {
 		e.sampleEveryUS = e.horizonUS / 512
 		e.nextSampleUS = e.sampleEveryUS
 		e.activeSeries = e.rec.Series("fleet.active_systems", obs.PidHost)
+		if e.cfg.Policy.Drain.Enabled() {
+			e.drainingSeries = e.rec.Series("fleet.draining_systems", obs.PidHost)
+		}
 		for i, st := range e.systems {
 			st.backlogSeries = e.rec.Series("fleet.backlog_us", obs.PidHost, obs.Li("sys", i))
 			st.capacitySeries = e.rec.Series("fleet.capacity_centi", obs.PidHost, obs.Li("sys", i))
@@ -375,16 +709,20 @@ func (e *engine) sample(t float64) {
 		return
 	}
 	cyc := clock.CyclesOfUS(t)
-	active := int64(0)
+	active, draining := int64(0), int64(0)
 	for _, st := range e.systems {
 		if !st.routable(t) {
 			continue
 		}
 		active++
+		if st.draining() {
+			draining++
+		}
 		st.backlogSeries.Add(cyc, int64(st.sys.EarliestStart(t)-t))
 		st.capacitySeries.Add(cyc, int64(100*st.sys.CapacityFrac()+0.5))
 	}
 	e.activeSeries.Add(cyc, active)
+	e.drainingSeries.Add(cyc, draining)
 	for e.nextSampleUS <= t {
 		e.nextSampleUS += e.sampleEveryUS
 	}
@@ -428,6 +766,30 @@ func (e *engine) finish() {
 	r.P999US = e.hist.percentile(99.9)
 	r.P9999US = e.hist.percentile(99.99)
 	r.MaxUS = e.hist.maxUS
+	// Per-class rolling attainment against each class's own SLO target.
+	for ci := range r.Classes {
+		cr := &r.Classes[ci]
+		var good int64
+		for w, tot := range e.classWinTotal[ci] {
+			if tot == 0 {
+				continue
+			}
+			cr.Windows++
+			good += e.classWinGood[ci][w]
+			if float64(e.classWinGood[ci][w])/float64(tot) >= 0.999 {
+				cr.WindowsMeeting999++
+			}
+		}
+		if cr.Requests > 0 {
+			cr.Attainment = float64(good) / float64(cr.Requests)
+		}
+		if cr.Windows > 0 {
+			cr.WindowAttainment999 = float64(cr.WindowsMeeting999) / float64(cr.Windows)
+		}
+		cr.P50US = e.classHist[ci].percentile(50)
+		cr.P99US = e.classHist[ci].percentile(99)
+		cr.P999US = e.classHist[ci].percentile(99.9)
+	}
 	r.PerSystem = make([]SystemReport, len(e.systems))
 	for i, st := range e.systems {
 		sr := SystemReport{
@@ -442,7 +804,14 @@ func (e *engine) finish() {
 			SparesLeft:        st.tally.SparesLeft,
 			FinalCapacityFrac: st.sys.CapacityFrac(),
 			StallUS:           st.sys.StallUS(),
+			Drains:            st.drains,
+			IdleReplays:       st.idleReplays,
+			CadenceTightens:   st.tally.CadenceTightens,
+			CadenceRelaxes:    st.tally.CadenceRelaxes,
+			FinalCadenceUS:    st.tally.FinalCadenceUS,
 		}
+		r.CadenceTightens += st.tally.CadenceTightens
+		r.CadenceRelaxes += st.tally.CadenceRelaxes
 		wall := e.horizonUS - st.activeAtUS
 		if st.standby && !st.activated {
 			sr.ActivatedAtUS = -1

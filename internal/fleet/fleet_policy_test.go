@@ -1,0 +1,288 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+// A policy whose thresholds can never fire must leave the run
+// byte-identical to the policy-free engine: the indicator streams fork
+// by stable id, the tracker consumes no randomness, and every new
+// report field is omitempty — so the reactive-only SLOReport of PR 8's
+// engine is reproduced byte for byte.
+func TestFleetPolicyNeverFiresByteIdentical(t *testing.T) {
+	cfg, _, _, _ := StressedScenario()
+
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := cfg
+	// Indicator levels live in [0, 1): a threshold of 2 arms the whole
+	// drain machinery (trackers, indicator walks) but can never trigger.
+	armed.Policy.Drain = DrainPolicy{Threshold: 2, Prewarm: true}
+	guarded, err := Run(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, err := guarded.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pj, gj) {
+		t.Fatal("a drain threshold that never fires changed the report bytes")
+	}
+	if guarded.Drains != 0 || guarded.IdleReplays != 0 || guarded.Prewarms != 0 {
+		t.Fatalf("threshold 2 fired: %d drains, %d idle replays, %d prewarms",
+			guarded.Drains, guarded.IdleReplays, guarded.Prewarms)
+	}
+
+	// The same must hold for the fixed pre-policy baseline config: its
+	// JSON has no policy fields at all (all omitempty, no classes).
+	base := baseCfg()
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(aj, []byte("drains")) || bytes.Contains(aj, []byte("classes")) ||
+		bytes.Contains(aj, []byte("cadence")) {
+		t.Fatal("policy-free report leaked policy fields into its JSON")
+	}
+}
+
+// Predictive draining on the stressed scenario: drains trigger off the
+// indicator ramps ahead of faults, nearly all of them absorb the fault
+// they predicted (the precursor model makes false positives rare),
+// faults land on idle systems, and the bookkeeping is self-consistent.
+func TestFleetPredictiveDrainBehavior(t *testing.T) {
+	cfg, drain, _, _ := StressedScenario()
+	cfg.Policy.Drain = drain
+
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Drains == 0 {
+		t.Fatal("stressed scenario with indicators armed triggered no drains")
+	}
+	if rep.DrainHits+rep.DrainsExpired > rep.Drains {
+		t.Errorf("drain releases %d+%d exceed drains %d", rep.DrainHits, rep.DrainsExpired, rep.Drains)
+	}
+	if rep.DrainHits == 0 || rep.IdleReplays == 0 {
+		t.Errorf("drains never absorbed a fault: hits %d, idle replays %d", rep.DrainHits, rep.IdleReplays)
+	}
+	if rep.DrainHits < rep.DrainsExpired {
+		t.Errorf("more expired drains (%d) than hits (%d): the precursor model is miscalibrated",
+			rep.DrainsExpired, rep.DrainHits)
+	}
+	if rep.Prewarms == 0 || rep.PrewarmHits > rep.Prewarms {
+		t.Errorf("prewarm accounting inconsistent: %d hits of %d prewarms", rep.PrewarmHits, rep.Prewarms)
+	}
+	if rep.PrewarmHits == 0 {
+		t.Error("no capacity loss consumed a pre-warmed standby on the stressed scenario")
+	}
+	var drains, idle int
+	for _, s := range rep.PerSystem {
+		drains += s.Drains
+		idle += s.IdleReplays
+	}
+	if drains != rep.Drains || idle != rep.IdleReplays {
+		t.Errorf("per-system policy sums %d/%d != fleet totals %d/%d",
+			drains, idle, rep.Drains, rep.IdleReplays)
+	}
+
+	// Deterministic: repeated runs byte-identical.
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := rep.JSON()
+	bj, _ := again.JSON()
+	if !bytes.Equal(aj, bj) {
+		t.Fatal("policy run not byte-reproducible")
+	}
+}
+
+// The proactive-vs-reactive property on a seeded grid (mirroring
+// TestFleetSweepMonotoneSLO's structure): predictive draining with
+// adaptive checkpoint cadence is never worse than the static schedule on
+// the rolling 99.9 attainment metric, somewhere on the grid it strictly
+// helps, and the full stack strictly improves overall attainment on
+// every seed.
+func TestFleetPolicySweepNeverWorseSLO(t *testing.T) {
+	improved := false
+	for seed := uint64(47); seed <= 54; seed++ {
+		cfg, drain, adaptive, shed := StressedScenario()
+		cfg.Seed = seed
+		pts, err := PolicySweep(cfg, drain, adaptive, shed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != 4 {
+			t.Fatalf("want 4 ablation rows, got %d", len(pts))
+		}
+		static, dc, full := pts[0], pts[2], pts[3]
+		if dc.WindowAttainment999 < static.WindowAttainment999 {
+			t.Errorf("seed %d: drain+cadence 99.9 window attainment %.4f worse than static %.4f",
+				seed, dc.WindowAttainment999, static.WindowAttainment999)
+		}
+		if dc.WindowAttainment999 > static.WindowAttainment999 {
+			improved = true
+		}
+		if full.Attainment <= static.Attainment {
+			t.Errorf("seed %d: full policy stack attainment %.6f does not beat static %.6f",
+				seed, full.Attainment, static.Attainment)
+		}
+	}
+	if !improved {
+		t.Error("drain+cadence never improved 99.9 window attainment anywhere on the grid")
+	}
+
+	// The grid is deterministic: rerunning the headline seed reproduces
+	// every row exactly.
+	cfg, drain, adaptive, shed := StressedScenario()
+	a, err := PolicySweep(cfg, drain, adaptive, shed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PolicySweep(cfg, drain, adaptive, shed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("policy sweep row %d not reproducible: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// The headline acceptance numbers: on the stressed mix the full policy
+// stack strictly improves the tier-0 rolling 99.9 attainment over the
+// static baseline, priority shedding visibly sacrifices the batch tier
+// first, and the drain rows improve the fleet-wide 99.9 metric too.
+func TestFleetPolicyStackAcceptanceSLO(t *testing.T) {
+	cfg, drain, adaptive, shed := StressedScenario()
+	pts, err := PolicySweep(cfg, drain, adaptive, shed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, dr, dc, full := pts[0], pts[1], pts[2], pts[3]
+	if full.Tier0Win999 <= static.Tier0Win999 {
+		t.Errorf("full stack tier-0 99.9 attainment %.4f does not strictly beat static %.4f",
+			full.Tier0Win999, static.Tier0Win999)
+	}
+	if full.Attainment <= static.Attainment {
+		t.Errorf("full stack attainment %.6f does not strictly beat static %.6f",
+			full.Attainment, static.Attainment)
+	}
+	if dr.WindowAttainment999 <= static.WindowAttainment999 {
+		t.Errorf("predictive draining win999 %.4f does not beat static %.4f",
+			dr.WindowAttainment999, static.WindowAttainment999)
+	}
+	if full.PriorityShed == 0 || dc.PriorityShed != 0 || dr.CadenceTightens != 0 {
+		t.Errorf("ablation rows not isolated: %+v", pts)
+	}
+	if full.ShedFrac >= static.ShedFrac {
+		t.Errorf("priority shedding raised total shed fraction %.5f >= %.5f",
+			full.ShedFrac, static.ShedFrac)
+	}
+}
+
+// Per-class reporting: requests partition across classes, each class is
+// judged against its own SLO target, and the batch tier sheds at a
+// higher rate than tier 0 under the full stack.
+func TestFleetClassReportConsistency(t *testing.T) {
+	cfg, drain, adaptive, shed := StressedScenario()
+	cfg.Policy = Policy{Drain: drain, Shed: shed}
+	cfg.Fault.Adaptive = adaptive
+
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) != 2 {
+		t.Fatalf("want 2 class reports, got %d", len(rep.Classes))
+	}
+	var req, served, shedN int64
+	for _, cl := range rep.Classes {
+		req += cl.Requests
+		served += cl.Served
+		shedN += cl.Shed
+		if cl.Requests != cl.Served+cl.Shed {
+			t.Errorf("class %s: %d requests != %d served + %d shed", cl.Name, cl.Requests, cl.Served, cl.Shed)
+		}
+		if cl.Attainment < 0 || cl.Attainment > 1 {
+			t.Errorf("class %s attainment %g out of range", cl.Name, cl.Attainment)
+		}
+		if !(cl.P50US <= cl.P99US && cl.P99US <= cl.P999US) {
+			t.Errorf("class %s percentiles not monotone: %g %g %g", cl.Name, cl.P50US, cl.P99US, cl.P999US)
+		}
+	}
+	if req != rep.Requests || served != rep.Served || shedN != rep.Shed {
+		t.Errorf("class totals %d/%d/%d != fleet totals %d/%d/%d",
+			req, served, shedN, rep.Requests, rep.Served, rep.Shed)
+	}
+	inter, batch := rep.Classes[0], rep.Classes[1]
+	if inter.Priority != 0 || batch.Priority != 1 {
+		t.Fatalf("class priorities misreported: %+v", rep.Classes)
+	}
+	if batch.SLOTargetUS != 3e8 || inter.SLOTargetUS != cfg.SLOTargetUS {
+		t.Errorf("class SLO targets misresolved: interactive %g, batch %g", inter.SLOTargetUS, batch.SLOTargetUS)
+	}
+	// Priority shedding halves the batch tier's effective bound.
+	if batch.ShedAboveUS >= inter.ShedAboveUS {
+		t.Errorf("batch shed bound %g not tightened below tier 0's %g", batch.ShedAboveUS, inter.ShedAboveUS)
+	}
+	if rep.PriorityShed > 0 {
+		bf := float64(batch.Shed) / float64(batch.Requests)
+		inf := float64(inter.Shed) / float64(inter.Requests)
+		if bf <= inf {
+			t.Errorf("batch shed rate %.5f not above tier 0's %.5f despite priority shedding", bf, inf)
+		}
+	}
+}
+
+// Adaptive cadence pinned to the static cadence (Min == Max) prices
+// every stall exactly as the static run: outside the cadence-footprint
+// fields (the pinned controller still reports its cadence), the two
+// reports are byte-identical.
+func TestFleetAdaptiveCadencePinnedByteIdentical(t *testing.T) {
+	cfg, _, _, _ := StressedScenario()
+	static, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := cfg
+	pinned.Fault.Adaptive = checkpoint.CadencePolicy{
+		Min: cfg.Fault.Checkpoint.CadenceUS,
+		Max: cfg.Fault.Checkpoint.CadenceUS,
+	}
+	rep, err := Run(pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CadenceTightens != 0 || rep.CadenceRelaxes != 0 {
+		t.Fatalf("pinned cadence adjusted: +%d/-%d", rep.CadenceTightens, rep.CadenceRelaxes)
+	}
+	for i := range rep.PerSystem {
+		if c := rep.PerSystem[i].FinalCadenceUS; c != cfg.Fault.Checkpoint.CadenceUS {
+			t.Fatalf("sys %d pinned cadence drifted to %g", i, c)
+		}
+		rep.PerSystem[i].FinalCadenceUS = 0
+	}
+	sj, _ := static.JSON()
+	pj, _ := rep.JSON()
+	if !bytes.Equal(sj, pj) {
+		t.Fatal("pinned adaptive cadence changed the report beyond its cadence footprint")
+	}
+}

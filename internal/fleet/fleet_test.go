@@ -237,6 +237,60 @@ func TestFleetConfigValidate(t *testing.T) {
 	}
 }
 
+// Direct Validate calls, one named case per rejection, so a bad sweep
+// point reports which knob broke before any simulation runs.
+func TestFleetConfigValidateDirect(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero active systems", func(c *Config) { c.Systems = 0 }},
+		{"negative warmup", func(c *Config) { c.WarmupUS = -1 }},
+		{"negative shed bound", func(c *Config) { c.ShedAboveUS = -1 }},
+		{"NaN service", func(c *Config) { c.ServiceUS = math.NaN() }},
+		{"class share not positive", func(c *Config) {
+			c.Mix = []TrafficClass{{Name: "a", Share: 0, ServiceMult: 1}, {Name: "b", Share: 1, ServiceMult: 1}}
+		}},
+		{"class shares sum below one", func(c *Config) {
+			c.Mix = []TrafficClass{{Name: "a", Share: 0.2, ServiceMult: 1}, {Name: "b", Share: 0.3, ServiceMult: 1}}
+		}},
+		{"negative class priority", func(c *Config) {
+			c.Mix = []TrafficClass{{Name: "a", Share: 1, ServiceMult: 1, Priority: -1}}
+		}},
+		{"negative class SLO target", func(c *Config) {
+			c.Mix = []TrafficClass{{Name: "a", Share: 1, ServiceMult: 1, SLOTargetUS: -1}}
+		}},
+		{"negative class shed bound", func(c *Config) {
+			c.Mix = []TrafficClass{{Name: "a", Share: 1, ServiceMult: 1, ShedAboveUS: -1}}
+		}},
+		{"negative drain threshold", func(c *Config) { c.Policy.Drain.Threshold = -0.5 }},
+		{"idle-stall fraction above one", func(c *Config) {
+			c.Policy.Drain = DrainPolicy{Threshold: 0.4, IdleStallFrac: 1.5}
+		}},
+		{"shed priority factor above one", func(c *Config) { c.Policy.Shed.PriorityFactor = 2 }},
+		{"adaptive cadence bounds inverted", func(c *Config) {
+			c.Fault.Adaptive.Min = 2 * c.Fault.Checkpoint.CadenceUS
+			c.Fault.Adaptive.Max = c.Fault.Checkpoint.CadenceUS
+		}},
+		{"negative lead window", func(c *Config) { c.Fault.LeadUS = -1 }},
+	}
+	for _, tc := range cases {
+		c := baseCfg()
+		c.WindowUS = 3600 * 1e6
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	good, drain, adaptive, shed := StressedScenario()
+	good = good.withDefaults()
+	good.Policy = Policy{Drain: drain, Shed: shed}.withDefaults(good.Fault)
+	good.Fault.Adaptive = adaptive
+	if err := good.Validate(); err != nil {
+		t.Errorf("stressed scenario with the full policy stack rejected: %v", err)
+	}
+}
+
 // A traffic mix is drawn from its own stream: enabling it must not
 // perturb the arrival process, and heavier mixes stretch the tail.
 func TestFleetTrafficMixSLO(t *testing.T) {

@@ -1,0 +1,152 @@
+package fleet
+
+// The proactive policy layer: instead of reacting to an incident after
+// it stalls a system (PR 8's only mode), the fleet watches each system's
+// leading-indicator telemetry — the MBE/BER-excursion ramps
+// workloads.FaultProfile emits ahead of every scheduled fault — and acts
+// before the stall lands:
+//
+//   - predictive draining: when a system's windowed indicator mean
+//     crosses the threshold, its home traffic drains to peers. A fault
+//     that lands on a drained-idle system interrupts no in-flight work,
+//     so its replay stall collapses to the restore + recharacterize
+//     share (IdleStallFrac).
+//   - standby pre-warming: the same trigger starts warming the next
+//     standby, so a capacity loss that follows activates it after only
+//     the unpaid remainder of WarmupUS — often instantly.
+//   - priority shedding: under pressure, lower-priority traffic classes
+//     shed at a tightened bound, protecting the interactive tier's SLO.
+//
+// Everything is deterministic: the indicators come from seeded streams
+// forked by stable id, the trigger is pure arithmetic over them, and
+// every decision is stamped as an obs counter plus a trace instant, so
+// a policy run is fully auditable. A policy that never fires (zero
+// value, or a threshold above every indicator level) leaves the run
+// byte-identical to the policy-free engine.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/workloads"
+)
+
+// DrainPolicy arms predictive draining. The zero value is disabled.
+type DrainPolicy struct {
+	// Threshold is the windowed indicator-mean level that triggers a
+	// drain, normally in (ambient ceiling, ramp floor) so ramps fire and
+	// ambient noise does not. 0 disables; values above 1 can never fire
+	// (every indicator level is < 1), which is useful for byte-identity
+	// checks.
+	Threshold float64
+	// Window is how many recent indicator samples the trigger averages
+	// (default 3).
+	Window int
+	// HoldUS bounds a drain with no incident: the drain auto-releases
+	// this long after its trigger (default 2 x Fault.LeadUS).
+	HoldUS float64
+	// Prewarm starts warming the next standby on every drain trigger.
+	Prewarm bool
+	// IdleStallFrac is the fraction of a replay stall a drained-idle
+	// system still pays — the detect + repair + recharacterize share;
+	// the replay share vanishes because nothing was in flight (default
+	// 0.1, floored at the checkpoint restore cost).
+	IdleStallFrac float64
+}
+
+// Enabled reports whether draining can ever trigger.
+func (d DrainPolicy) Enabled() bool { return d.Threshold > 0 }
+
+// ShedPolicy arms per-class priority shedding. The zero value is
+// disabled.
+type ShedPolicy struct {
+	// PriorityFactor tightens the shed bound of each lower-priority
+	// class: a class at priority p (0 = most important) sheds when its
+	// wait exceeds bound x PriorityFactor^p. Must lie in (0, 1) to have
+	// any effect; 0 (and 1) disable.
+	PriorityFactor float64
+}
+
+// Enabled reports whether priority shedding changes any bound.
+func (s ShedPolicy) Enabled() bool { return s.PriorityFactor > 0 && s.PriorityFactor < 1 }
+
+// Policy is the fleet's proactive layer. (Adaptive checkpoint cadence is
+// configured on Config.Fault.Adaptive — it re-prices the fault schedule
+// itself, so it lives with the fault model.)
+type Policy struct {
+	Drain DrainPolicy
+	Shed  ShedPolicy
+}
+
+// withDefaults resolves the optional knobs against the fault profile.
+func (p Policy) withDefaults(fault workloads.FaultProfile) Policy {
+	if p.Drain.Window <= 0 {
+		p.Drain.Window = 3
+	}
+	if p.Drain.HoldUS <= 0 {
+		p.Drain.HoldUS = 2 * fault.LeadUS
+	}
+	if p.Drain.IdleStallFrac <= 0 {
+		p.Drain.IdleStallFrac = 0.1
+	}
+	return p
+}
+
+// Validate rejects non-physical policies. The zero value is valid.
+func (p Policy) Validate() error {
+	d := p.Drain
+	if d.Threshold < 0 || math.IsNaN(d.Threshold) || math.IsInf(d.Threshold, 0) {
+		return fmt.Errorf("fleet: drain threshold %g must be >= 0 and finite", d.Threshold)
+	}
+	if d.Window < 0 {
+		return fmt.Errorf("fleet: drain window %d must be >= 0", d.Window)
+	}
+	if d.HoldUS < 0 || math.IsNaN(d.HoldUS) {
+		return fmt.Errorf("fleet: drain hold %g must be >= 0", d.HoldUS)
+	}
+	if d.IdleStallFrac < 0 || d.IdleStallFrac > 1 || math.IsNaN(d.IdleStallFrac) {
+		return fmt.Errorf("fleet: idle-stall fraction %g must lie in [0, 1]", d.IdleStallFrac)
+	}
+	if f := p.Shed.PriorityFactor; f < 0 || f > 1 || math.IsNaN(f) {
+		return fmt.Errorf("fleet: shed priority factor %g must lie in [0, 1]", f)
+	}
+	return nil
+}
+
+// healthTracker is one system's leading-indicator view: a ring of the
+// last Window levels and their running sum. The trigger is the windowed
+// mean crossing the drain threshold.
+type healthTracker struct {
+	levels []float64
+	idx    int
+	count  int
+	sum    float64
+}
+
+func newHealthTracker(window int) *healthTracker {
+	return &healthTracker{levels: make([]float64, window)}
+}
+
+// push folds one indicator level in and reports whether the windowed
+// mean now sits at or above threshold (only once the window is full, so
+// a single ambient spike cannot trigger).
+func (h *healthTracker) push(level, threshold float64) bool {
+	if h.count == len(h.levels) {
+		h.sum -= h.levels[h.idx]
+	} else {
+		h.count++
+	}
+	h.levels[h.idx] = level
+	h.sum += level
+	h.idx = (h.idx + 1) % len(h.levels)
+	return h.count == len(h.levels) && h.sum/float64(h.count) >= threshold
+}
+
+// reset clears the window — called when a drain releases so stale ramp
+// samples cannot immediately re-trigger.
+func (h *healthTracker) reset() {
+	for i := range h.levels {
+		h.levels[i] = 0
+	}
+	h.idx, h.count, h.sum = 0, 0, 0
+}

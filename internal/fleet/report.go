@@ -83,6 +83,41 @@ type SystemReport struct {
 	FinalCapacityFrac float64 `json:"final_capacity_frac"`
 	StallUS           float64 `json:"stall_us"`
 	AvailableFrac     float64 `json:"available_frac"`
+	// Policy footprint (omitted when the proactive layer never acted on
+	// this system, keeping policy-free reports byte-identical to the
+	// reactive-only engine's).
+	Drains          int     `json:"drains,omitempty"`
+	IdleReplays     int     `json:"idle_replays,omitempty"`
+	CadenceTightens int     `json:"cadence_tightens,omitempty"`
+	CadenceRelaxes  int     `json:"cadence_relaxes,omitempty"`
+	FinalCadenceUS  float64 `json:"final_cadence_us,omitempty"`
+}
+
+// ClassReport is one traffic class's share of the fleet run: its own SLO
+// target, shed bound, and rolling attainment, so a batch tier and an
+// interactive tier are judged against their own bounds.
+type ClassReport struct {
+	Name        string  `json:"name"`
+	Priority    int     `json:"priority"`
+	SLOTargetUS float64 `json:"slo_target_us"`
+	// ShedAboveUS is the effective bound after priority tightening (0 =
+	// never sheds).
+	ShedAboveUS float64 `json:"shed_above_us"`
+
+	Requests int64 `json:"requests"`
+	Served   int64 `json:"served"`
+	Shed     int64 `json:"shed"`
+
+	// Attainment and the rolling-window stats mirror the fleet-wide
+	// fields, judged against this class's own SLO target.
+	Attainment          float64 `json:"attainment"`
+	Windows             int     `json:"windows"`
+	WindowsMeeting999   int     `json:"windows_meeting_999"`
+	WindowAttainment999 float64 `json:"window_attainment_999"`
+
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
 }
 
 // SLOReport is the fleet run's outcome. JSON() is byte-stable: the same
@@ -104,6 +139,20 @@ type SLOReport struct {
 	Failovers        int `json:"failovers"`
 	CapacityLosses   int `json:"capacity_losses"`
 
+	// Proactive-policy footprint. All omitempty: a run whose policy never
+	// fires (zero value, or a threshold above every indicator level)
+	// produces byte-identical JSON to the reactive-only engine.
+	Drains          int   `json:"drains,omitempty"`
+	DrainHits       int   `json:"drain_hits,omitempty"`
+	DrainsExpired   int   `json:"drains_expired,omitempty"`
+	DrainedRequests int64 `json:"drained_requests,omitempty"`
+	IdleReplays     int   `json:"idle_replays,omitempty"`
+	Prewarms        int   `json:"prewarms,omitempty"`
+	PrewarmHits     int   `json:"prewarm_hits,omitempty"`
+	PriorityShed    int64 `json:"priority_shed,omitempty"`
+	CadenceTightens int   `json:"cadence_tightens,omitempty"`
+	CadenceRelaxes  int   `json:"cadence_relaxes,omitempty"`
+
 	SLOTargetUS float64 `json:"slo_target_us"`
 	WindowUS    float64 `json:"window_us"`
 	// Attainment is the fraction of all arrivals served within the
@@ -123,6 +172,10 @@ type SLOReport struct {
 	P999US  float64 `json:"p999_us"`
 	P9999US float64 `json:"p9999_us"`
 	MaxUS   float64 `json:"max_us"`
+
+	// Classes carries per-class rolling attainment when the config
+	// declares a traffic mix (nil for the single-class default).
+	Classes []ClassReport `json:"classes,omitempty"`
 
 	PerSystem []SystemReport `json:"per_system"`
 }
@@ -147,6 +200,16 @@ func (r *SLOReport) Render() string {
 		r.SLOTargetUS, r.Attainment, r.Windows, r.WindowAttainment999, r.WindowAttainment9999)
 	fmt.Fprintf(&b, "latency us: p50 %.0f p99 %.0f p99.9 %.0f p99.99 %.0f max %.0f\n",
 		r.P50US, r.P99US, r.P999US, r.P9999US, r.MaxUS)
+	if r.Drains > 0 || r.PriorityShed > 0 || r.CadenceTightens > 0 {
+		fmt.Fprintf(&b, "policy: drains %d (hit %d expired %d) drained-req %d idle-replays %d prewarm %d/%d pri-shed %d cadence +%d/-%d\n",
+			r.Drains, r.DrainHits, r.DrainsExpired, r.DrainedRequests, r.IdleReplays,
+			r.PrewarmHits, r.Prewarms, r.PriorityShed, r.CadenceTightens, r.CadenceRelaxes)
+	}
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "  class %-12s p%d: req %8d shed %6d SLO %.0fus attain %.6f 99.9%% windows %.4f p99.9 %.0fus\n",
+			c.Name, c.Priority, c.Requests, c.Shed, c.SLOTargetUS, c.Attainment,
+			c.WindowAttainment999, c.P999US)
+	}
 	for _, s := range r.PerSystem {
 		tag := ""
 		if s.Standby {

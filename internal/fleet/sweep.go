@@ -6,7 +6,10 @@ package fleet
 // versus interactive. Every point reuses the base config and seed, so
 // the grid is deterministic and points differ only in the swept knobs.
 
-import "repro/internal/workloads"
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/workloads"
+)
 
 // SweepPoint is one grid cell's outcome.
 type SweepPoint struct {
@@ -62,6 +65,139 @@ func Sweep(base Config, standbys []int, cadencesUS []float64, heavyShares []floa
 				out = append(out, pt)
 			}
 		}
+	}
+	return out, nil
+}
+
+// StressedScenario is the shared proactive-vs-reactive testbed: a fleet
+// under enough fault pressure that the month ends with degraded systems
+// and real shed traffic, a two-tier mix (interactive tier 0, 4x batch
+// tier 1 with its own looser SLO), hour-long cold standby warmups that
+// make pre-warming matter, and leading indicators armed with a 10-minute
+// precursor window. The returned policies are the full stack
+// `tspsim -exp fleet` ablates: predictive draining with pre-warm, an
+// adaptive checkpoint cadence bounded at [cadence/4, cadence], and
+// priority shedding at factor 0.5.
+func StressedScenario() (Config, DrainPolicy, checkpoint.CadencePolicy, ShedPolicy) {
+	cfg := Config{
+		Systems:           8,
+		Standby:           3,
+		ServiceUS:         1e7, // 10s per batch inference
+		PipelineDepth:     2,
+		ArrivalRatePerSec: 0.4, // ~72% of fleet capacity at this mix
+		HorizonDays:       14,
+		Seed:              42,
+		Fault: workloads.FaultProfile{
+			MTBFHours:     20,
+			Spares:        2,
+			ReplayFrac:    0.7,
+			ReplayStallUS: 6e8, // 10 min of cycle-0 replay
+			Checkpoint:    workloads.Checkpointing{CadenceUS: 2e8, RestoreUS: 1e6},
+			LeadUS:        6e8, // 10-minute precursor window
+		},
+		Mix: []TrafficClass{
+			{Name: "interactive", Share: 0.85, ServiceMult: 1, Priority: 0},
+			{Name: "batch", Share: 0.15, ServiceMult: 4, Priority: 1, SLOTargetUS: 3e8},
+		},
+		SLOTargetUS: 6e7, // 60s
+		ShedAboveUS: 3e7, // shed past a 30s slot wait
+		WarmupUS:    3.6e9,
+	}
+	drain := DrainPolicy{Threshold: 0.4, Prewarm: true, IdleStallFrac: 0.1}
+	adaptive := checkpoint.CadencePolicy{
+		Min:         cfg.Fault.Checkpoint.CadenceUS / 4,
+		Max:         cfg.Fault.Checkpoint.CadenceUS,
+		BurstFaults: 3,
+		BurstWindow: 30 * 3600 * 1e6,
+		Quiet:       60 * 3600 * 1e6,
+	}
+	shed := ShedPolicy{PriorityFactor: 0.5}
+	return cfg, drain, adaptive, shed
+}
+
+// PolicyPoint is one row of the proactive-vs-reactive ablation: a named
+// policy stack and its SLO outcome on the shared stressed scenario.
+type PolicyPoint struct {
+	Name string `json:"name"`
+
+	Attainment          float64 `json:"attainment"`
+	WindowAttainment999 float64 `json:"window_attainment_999"`
+	P999US              float64 `json:"p999_us"`
+	ShedFrac            float64 `json:"shed_frac"`
+
+	// Tier0Win999 and Tier0P999US are the priority-0 (interactive)
+	// class's rolling 99.9 attainment and p99.9 — the numbers priority
+	// shedding exists to protect. Zero when the config has no mix.
+	Tier0Win999 float64 `json:"tier0_window_attainment_999"`
+	Tier0P999US float64 `json:"tier0_p999_us"`
+
+	Drains          int   `json:"drains"`
+	DrainHits       int   `json:"drain_hits"`
+	IdleReplays     int   `json:"idle_replays"`
+	PrewarmHits     int   `json:"prewarm_hits"`
+	PriorityShed    int64 `json:"priority_shed"`
+	CadenceTightens int   `json:"cadence_tightens"`
+}
+
+// PolicySweep runs the proactive-policy ablation behind
+// `tspsim -exp fleet`: the same stressed scenario under four policy
+// stacks — reactive-only (PR 8's engine), predictive draining, draining
+// plus adaptive checkpoint cadence, and the full stack with priority
+// shedding. Every row shares the base config and seed; the fault
+// schedules and arrival stream are identical across rows (policies
+// consume no randomness), so the rows differ only in what the policy
+// layer did about the same faults.
+func PolicySweep(base Config, drain DrainPolicy, adaptive checkpoint.CadencePolicy, shed ShedPolicy) ([]PolicyPoint, error) {
+	rows := []struct {
+		name                  string
+		drain, adaptive, shed bool
+	}{
+		{"static", false, false, false},
+		{"drain", true, false, false},
+		{"drain+cadence", true, true, false},
+		{"full", true, true, true},
+	}
+	var out []PolicyPoint
+	for _, row := range rows {
+		cfg := base
+		cfg.Policy = Policy{}
+		cfg.Fault.Adaptive = checkpoint.CadencePolicy{}
+		if row.drain {
+			cfg.Policy.Drain = drain
+		}
+		if row.adaptive {
+			cfg.Fault.Adaptive = adaptive
+		}
+		if row.shed {
+			cfg.Policy.Shed = shed
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pt := PolicyPoint{
+			Name:                row.name,
+			Attainment:          rep.Attainment,
+			WindowAttainment999: rep.WindowAttainment999,
+			P999US:              rep.P999US,
+			Drains:              rep.Drains,
+			DrainHits:           rep.DrainHits,
+			IdleReplays:         rep.IdleReplays,
+			PrewarmHits:         rep.PrewarmHits,
+			PriorityShed:        rep.PriorityShed,
+			CadenceTightens:     rep.CadenceTightens,
+		}
+		if rep.Requests > 0 {
+			pt.ShedFrac = float64(rep.Shed) / float64(rep.Requests)
+		}
+		for _, cl := range rep.Classes {
+			if cl.Priority == 0 {
+				pt.Tier0Win999 = cl.WindowAttainment999
+				pt.Tier0P999US = cl.P999US
+				break
+			}
+		}
+		out = append(out, pt)
 	}
 	return out, nil
 }

@@ -78,6 +78,14 @@ type Ladder struct {
 	// original cycle-0 replay rung. Corrupted or missing snapshots fall
 	// back to cycle 0 automatically (the corrupted-checkpoint rung).
 	CheckpointEvery int64
+	// AdaptiveCadence replaces the fixed CheckpointEvery with a
+	// burst-tightening / quiet-relaxing controller (bounds in cycles):
+	// each diagnosed fault is an observation, and the next attempt
+	// checkpoints at the cadence in effect. The zero value keeps the
+	// fixed cadence; it only applies when CheckpointEvery > 0. The
+	// controller is pure arithmetic over detection cycles, so the walk
+	// stays byte-identical across worker counts.
+	AdaptiveCadence checkpoint.CadencePolicy
 }
 
 // LadderResult reports a completed ladder walk.
@@ -102,6 +110,12 @@ type LadderResult struct {
 	// retired onto spares.
 	RepairedLinks []topo.LinkID
 	FailedNodes   []topo.NodeID
+	// Adaptive-cadence footprint: adjustments the controller took and
+	// the checkpoint cadence the final attempt ran at (CheckpointEvery
+	// when adaptation is off).
+	CadenceTightens int
+	CadenceRelaxes  int
+	FinalCadence    int64
 	// Cluster is the successful run's cluster, for reading results.
 	Cluster *Cluster
 }
@@ -116,7 +130,44 @@ func (ld *Ladder) Run() (*LadderResult, error) {
 	if iters <= 0 {
 		iters = 64
 	}
-	res := &LadderResult{}
+	res := &LadderResult{FinalCadence: ld.CheckpointEvery}
+	if err := ld.AdaptiveCadence.Validate(); err != nil {
+		return nil, err
+	}
+	var cadCtl *checkpoint.CadenceController
+	if ld.AdaptiveCadence.Enabled() && ld.CheckpointEvery > 0 {
+		cadCtl = checkpoint.NewCadenceController(ld.AdaptiveCadence, float64(ld.CheckpointEvery))
+	}
+	cadence := func() int64 {
+		if cadCtl != nil {
+			return int64(cadCtl.Cadence())
+		}
+		return ld.CheckpointEvery
+	}
+	// observeFault folds one diagnosed fault into the cadence controller
+	// and stamps any adjustment it takes.
+	observeFault := func(atCycle int64) {
+		if cadCtl == nil {
+			return
+		}
+		tight, relax := cadCtl.Tightens(), cadCtl.Relaxes()
+		cadCtl.Observe(float64(atCycle))
+		if cadCtl.Tightens() > tight {
+			rec.Counter("recovery.cadence_tightens").Inc()
+			rec.InstantCycles(obs.PidFabric, recoveryTid, "recovery.cadence_tighten", atCycle)
+		}
+		if cadCtl.Relaxes() > relax {
+			rec.Counter("recovery.cadence_relaxes").Inc()
+			rec.InstantCycles(obs.PidFabric, recoveryTid, "recovery.cadence_relax", atCycle)
+		}
+	}
+	defer func() {
+		if cadCtl != nil {
+			res.CadenceTightens = cadCtl.Tightens()
+			res.CadenceRelaxes = cadCtl.Relaxes()
+			res.FinalCadence = int64(cadCtl.Cadence())
+		}
+	}()
 	// Per-link physical error models live here, not on any one cluster, so
 	// a link repaired after attempt N keeps its widened margin in N+1.
 	physLinks := map[topo.LinkID]*c2c.Link{}
@@ -132,7 +183,7 @@ func (ld *Ladder) Run() (*LadderResult, error) {
 				return nil, err
 			}
 			if ld.CheckpointEvery > 0 {
-				cl.SetCheckpointCadence(ld.CheckpointEvery)
+				cl.SetCheckpointCadence(cadence())
 			}
 			if last == nil {
 				cl.ShareLinkModels(physLinks, physRNG)
@@ -147,6 +198,15 @@ func (ld *Ladder) Run() (*LadderResult, error) {
 			diag := ld.Monitor.Diagnose(last.HealthReport(horizon, ld.Monitor.IntervalCycles))
 			if nf := ld.escalations(diag, repaired); nf != nil {
 				return nil, nf
+			}
+			// Every diagnosed fault that leads to another attempt is one
+			// cadence observation at its detection horizon; the attempt
+			// built here checkpoints at whatever cadence that left in
+			// effect. (A fault that escalates to failover is observed once,
+			// by the next generation's diagnosis of the same horizon.)
+			observeFault(horizon)
+			if ld.CheckpointEvery > 0 {
+				cl.SetCheckpointCadence(cadence())
 			}
 			// The resume rung: restore the newest clean snapshot preceding
 			// the detection cycle. Undecodable snapshots are skipped toward

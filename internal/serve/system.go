@@ -34,6 +34,11 @@ type System struct {
 	lastDone float64
 	// busyUS is the total booked initiation time (utilization numerator).
 	busyUS float64
+	// draining marks the system as quiescing ahead of a predicted fault:
+	// routers should send new traffic to peers while the in-flight
+	// backlog runs dry. Purely advisory — Admit still works, so a fleet
+	// with nowhere else to route can override the drain.
+	draining bool
 }
 
 // NewSystem returns a healthy, idle deployment.
@@ -108,6 +113,27 @@ func (s *System) SetCapacity(frac float64) {
 	if frac > 0 {
 		s.scale = 1 / frac
 	}
+}
+
+// SetDraining marks (or clears) the pre-fault quiesce state the
+// predictive-drain policy uses to steer home traffic to peers.
+func (s *System) SetDraining(d bool) { s.draining = d }
+
+// Draining reports whether the system is quiescing ahead of a predicted
+// fault.
+func (s *System) Draining() bool { return s.draining }
+
+// Idle reports whether the system has no booked work at t — a drained
+// system is idle once its admitted backlog has run dry, so a fault
+// landing then interrupts nothing and skips the replay share of its
+// recovery stall.
+func (s *System) Idle(t float64) bool { return s.slotFree <= t }
+
+// OverBound is the class-aware shed-first test: it reports whether a
+// request arriving at t would wait longer than boundUS for its
+// initiation slot. A non-positive bound never sheds.
+func (s *System) OverBound(t, boundUS float64) bool {
+	return boundUS > 0 && s.EarliestStart(t)-t > boundUS
 }
 
 // InStall reports whether t falls inside a recovery-stall window.

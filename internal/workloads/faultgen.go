@@ -10,7 +10,9 @@ package workloads
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/serve"
 	"repro/internal/sim"
 )
@@ -66,6 +68,43 @@ type FaultProfile struct {
 	ReplayStallUS float64
 	// Checkpoint shortens replay stalls to restore + mid-epoch remainder.
 	Checkpoint Checkpointing
+	// Adaptive replaces the fixed Checkpoint.CadenceUS with a
+	// burst-tightening / quiet-relaxing cadence controller (bounds in
+	// µs). The zero value keeps the fixed cadence. Adaptation changes no
+	// RNG draw — the fault times and classifications are byte-identical
+	// to the static schedule; only the replay stalls re-price.
+	Adaptive checkpoint.CadencePolicy
+	// LeadUS enables leading-indicator emission (DrawWithIndicators):
+	// each fault is preceded by a rising MBE/BER-excursion ramp spanning
+	// LeadUS before it strikes, on top of low-level ambient noise. The
+	// indicators come from streams forked off the schedule stream by
+	// stable id, so emission never perturbs the fault schedule itself.
+	// 0 disables emission.
+	LeadUS float64
+}
+
+// Indicator-stream fork ids, far from any per-system id the fleet uses.
+const (
+	leadStream    uint64 = 1 << 41
+	ambientStream uint64 = 1<<41 + 1
+)
+
+// Indicator-ramp shape: rampSamples readings per fault, climbing to
+// [rampFloor, 1) at the last pre-fault sample; ambient noise stays below
+// ambientCeil, so any drain threshold in (ambientCeil, rampFloor) sees
+// every ramp and no ambient false positives.
+const (
+	rampSamples = 4
+	rampFloor   = 0.7
+	ambientCeil = 0.3
+)
+
+// IndicatorSample is one leading-indicator telemetry reading: a
+// normalized MBE/BER-excursion level in [0, 1) at host time AtUS.
+// Levels near 1 mean a fault is imminent.
+type IndicatorSample struct {
+	AtUS  float64
+	Level float64
 }
 
 // Validate rejects non-physical profiles.
@@ -80,6 +119,16 @@ func (p FaultProfile) Validate() error {
 		(p.Checkpoint.enabled() && p.Checkpoint.RestoreUS > p.ReplayStallUS) {
 		return fmt.Errorf("workloads: invalid checkpointing %+v", p.Checkpoint)
 	}
+	if err := p.Adaptive.Validate(); err != nil {
+		return err
+	}
+	if p.Adaptive.Enabled() && p.Checkpoint.RestoreUS > p.ReplayStallUS {
+		return fmt.Errorf("workloads: restore cost %g exceeds the cycle-0 replay %g it replaces",
+			p.Checkpoint.RestoreUS, p.ReplayStallUS)
+	}
+	if p.LeadUS < 0 || math.IsNaN(p.LeadUS) || math.IsInf(p.LeadUS, 0) {
+		return fmt.Errorf("workloads: lead window %g must be >= 0 and finite", p.LeadUS)
+	}
 	return nil
 }
 
@@ -93,6 +142,11 @@ type IncidentTally struct {
 	SparesLeft int
 	// FinalCapacity is the capacity fraction after the last fault.
 	FinalCapacity float64
+	// Adaptive-cadence footprint: adjustments taken by the controller and
+	// the cadence in effect after the last fault (0 when adaptation is
+	// off).
+	CadenceTightens, CadenceRelaxes int
+	FinalCadenceUS                  float64
 }
 
 // Draw generates the deterministic fault schedule for one system over
@@ -105,6 +159,14 @@ type IncidentTally struct {
 func (p FaultProfile) Draw(r *sim.RNG, horizonUS float64) ([]FaultEvent, IncidentTally) {
 	meanGapUS := p.MTBFHours * 3600 * 1e6
 	tally := IncidentTally{SparesLeft: p.Spares, FinalCapacity: 1}
+	// Adaptive cadence: the controller observes every fault (bursts are
+	// bursts whatever the ladder rung) and re-prices repairable stalls
+	// with the cadence in effect when the fault struck. It consumes no
+	// randomness, so the schedule is byte-identical to the static draw.
+	var ctl *checkpoint.CadenceController
+	if p.Adaptive.Enabled() {
+		ctl = checkpoint.NewCadenceController(p.Adaptive, p.Checkpoint.CadenceUS)
+	}
 	var events []FaultEvent
 	at := 0.0
 	capacity := 1.0
@@ -118,13 +180,25 @@ func (p FaultProfile) Draw(r *sim.RNG, horizonUS float64) ([]FaultEvent, Inciden
 			break
 		}
 		tally.Faults++
+		cadence := 0.0
+		if ctl != nil {
+			cadence = ctl.Observe(at)
+		}
 		ev := FaultEvent{Incident: serve.Incident{StartUS: at, ReplayUS: p.ReplayStallUS, CapacityFrac: capacity}}
 		if r.Float64() < p.ReplayFrac {
 			// Repairable: re-characterize and resume from the last
 			// barrier (or replay from cycle 0 without checkpointing).
 			tally.Replays++
 			ev.Kind = KindReplay
-			ev.ReplayUS = p.Checkpoint.replayStall(at, p.ReplayStallUS)
+			if ctl != nil {
+				stall := p.Checkpoint.RestoreUS + math.Mod(at, cadence)
+				if stall > p.ReplayStallUS {
+					stall = p.ReplayStallUS
+				}
+				ev.ReplayUS = stall
+			} else {
+				ev.ReplayUS = p.Checkpoint.replayStall(at, p.ReplayStallUS)
+			}
 		} else {
 			// Node loss: replay plus rebuild on the remapped TSPs. No
 			// checkpoint shortcut — the remap invalidates snapshots.
@@ -149,7 +223,54 @@ func (p FaultProfile) Draw(r *sim.RNG, horizonUS float64) ([]FaultEvent, Inciden
 		events = append(events, ev)
 	}
 	tally.FinalCapacity = capacity
+	if ctl != nil {
+		tally.CadenceTightens = ctl.Tightens()
+		tally.CadenceRelaxes = ctl.Relaxes()
+		tally.FinalCadenceUS = ctl.Cadence()
+	}
 	return events, tally
+}
+
+// DrawWithIndicators is Draw plus the leading-indicator telemetry the
+// fleet's predictive-drain policy watches. The fault schedule is
+// byte-identical to Draw's (the indicator streams are forked off r by
+// stable id, which never advances r), so arming indicators cannot
+// perturb any existing result. With LeadUS == 0 the sample slice is nil.
+//
+// Emission model: ambient MBE/BER noise below ambientCeil on a fixed
+// LeadUS grid across the horizon, and before each fault a rampSamples
+// ramp climbing to [rampFloor, 1) — the §4.5 recharacterization
+// precursor, visible LeadUS ahead of the stall it predicts.
+func (p FaultProfile) DrawWithIndicators(r *sim.RNG, horizonUS float64) ([]FaultEvent, []IndicatorSample, IncidentTally) {
+	lead := r.Fork(leadStream)
+	ambient := r.Fork(ambientStream)
+	events, tally := p.Draw(r, horizonUS)
+	if p.LeadUS <= 0 {
+		return events, nil, tally
+	}
+	var samples []IndicatorSample
+	// Ambient grid: one low-level reading every LeadUS, each drawn from a
+	// grid-indexed fork so the grid never shifts with the fault count.
+	for k := int64(1); float64(k)*p.LeadUS < horizonUS; k++ {
+		u := ambient.Fork(uint64(k)).Float64()
+		samples = append(samples, IndicatorSample{AtUS: float64(k) * p.LeadUS, Level: ambientCeil * u})
+	}
+	// Pre-fault ramps: rampSamples readings inside (at-LeadUS, at),
+	// levels climbing linearly to [rampFloor, 1) just before the fault.
+	for i, ev := range events {
+		er := lead.Fork(uint64(i))
+		for j := 0; j < rampSamples; j++ {
+			t := ev.StartUS - p.LeadUS*float64(rampSamples-j)/float64(rampSamples+1)
+			if t <= 0 {
+				continue
+			}
+			u := er.Float64()
+			frac := float64(j+1) / rampSamples
+			samples = append(samples, IndicatorSample{AtUS: t, Level: (rampFloor + (1-rampFloor)*u) * frac})
+		}
+	}
+	sort.SliceStable(samples, func(a, b int) bool { return samples[a].AtUS < samples[b].AtUS })
+	return events, samples, tally
 }
 
 // Incidents strips the classification, returning the serving-visible

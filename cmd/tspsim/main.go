@@ -91,6 +91,10 @@ import (
 // work out themselves (serve sweeps, the par demo). Reset by run().
 var workersN = 1
 
+// speculateN is the -speculate flag value after validation (false when
+// -workers 1 forced the sequential fallback). Reset by run().
+var speculateN = false
+
 // checkpointEveryN is the -checkpoint-every flag value: the epoch-barrier
 // checkpoint cadence in cycles armed on the recovery-ladder experiments
 // (0 = off, replays restart from cycle 0). Reset by run().
@@ -154,6 +158,8 @@ func run(argv []string, errw io.Writer) int {
 	metricsPath := fs.String("metrics", "", "write the flat metrics JSON here")
 	workers := fs.Int("workers", 1, "cluster executor parallelism: 1 = sequential, n>1 = deterministic window-parallel execution")
 	windowMax := fs.Int64("window-max", 0, "cap on the window-parallel executor's adaptive lookahead horizon in cycles (0 = uncapped; otherwise >= one 650-cycle hop; 650 reproduces the fixed one-hop windows)")
+	speculate := fs.Bool("speculate", false, "run chips optimistically past the conservative window horizon (requires -workers > 1; every simulated observable stays byte-identical)")
+	specDepth := fs.Int64("speculate-depth", 4, "speculative window depth in 650-cycle hops past the conservative horizon (>= 1)")
 	ckptEvery := fs.Int64("checkpoint-every", 0, "epoch-barrier checkpoint cadence in cycles for the recovery-ladder experiments (0 = off: replays restart from cycle 0)")
 	fleetDrainThr := fs.Float64("fleet-drain-threshold", 0, "predictive-drain indicator threshold for the fleet experiment's policy ablation (0 = the stressed scenario's default)")
 	fleetCadMin := fs.Float64("fleet-cadence-min", 0, "adaptive checkpoint cadence floor in µs for the fleet experiment's policy ablation (0 = scenario default)")
@@ -211,6 +217,17 @@ func run(argv []string, errw io.Writer) int {
 		fmt.Fprintf(errw, "-window-max must be >= one %d-cycle hop, or 0 for uncapped, got %d\n", route.HopCycles, *windowMax)
 		return 2
 	}
+	if *specDepth < 1 {
+		fmt.Fprintf(errw, "-speculate-depth must be >= 1 (hops past the conservative horizon), got %d\n", *specDepth)
+		fs.Usage()
+		return 2
+	}
+	if *speculate && *workers == 1 {
+		// Speculation at one worker is the sequential schedule by
+		// definition — note it and run the sequential path.
+		fmt.Fprintln(errw, "note: -speculate needs -workers > 1; falling back to the sequential executor")
+		*speculate = false
+	}
 	if *fleetDrainThr < 0 {
 		fmt.Fprintf(errw, "-fleet-drain-threshold must be >= 0 (0 = scenario default), got %g\n", *fleetDrainThr)
 		return 2
@@ -232,16 +249,22 @@ func run(argv []string, errw io.Writer) int {
 	fleetDrainThresholdN = *fleetDrainThr
 	fleetCadenceMinN = *fleetCadMin
 	fleetCadenceMaxN = *fleetCadMax
+	speculateN = *speculate
 	prevWorkers := rtime.SetDefaultWorkers(*workers)
 	prevWindowMax := rtime.SetDefaultWindowMax(*windowMax)
+	prevSpeculate := rtime.SetDefaultSpeculate(*speculate)
+	prevSpecDepth := rtime.SetDefaultSpecDepth(*specDepth)
 	defer func() {
 		workersN = 1
+		speculateN = false
 		checkpointEveryN = 0
 		fleetDrainThresholdN = 0
 		fleetCadenceMinN = 0
 		fleetCadenceMaxN = 0
 		rtime.SetDefaultWorkers(prevWorkers)
 		rtime.SetDefaultWindowMax(prevWindowMax)
+		rtime.SetDefaultSpeculate(prevSpeculate)
+		rtime.SetDefaultSpecDepth(prevSpecDepth)
 	}()
 
 	// Observability: when either output is requested, install a process-wide
@@ -307,7 +330,7 @@ func run(argv []string, errw io.Writer) int {
 		}
 	}
 	if *profilePath != "" {
-		rep, err := prof.Analyze(rec.State(), prof.Options{})
+		rep, err := prof.Analyze(rec.State(), prof.Options{Exec: execStats(rec)})
 		if err != nil {
 			fmt.Fprintf(errw, "profile-report: %v\n", err)
 			return 1
@@ -1195,13 +1218,23 @@ func parExp() error {
 	t0 = time.Now()
 	parFinish, parErr := par.RunParallel(workers)
 	parWall := time.Since(t0)
-	if seqErr != nil || parErr != nil {
-		return fmt.Errorf("par: run failed (seq=%v par=%v)", seqErr, parErr)
+	spec, err := build(workers)
+	if err != nil {
+		return err
 	}
-	identical := seqFinish == parFinish
+	spec.SetSpeculate(true)
+	t0 = time.Now()
+	specFinish, specErr := spec.RunSpeculative(workers)
+	specWall := time.Since(t0)
+	if seqErr != nil || parErr != nil || specErr != nil {
+		return fmt.Errorf("par: run failed (seq=%v par=%v spec=%v)", seqErr, parErr, specErr)
+	}
+	identical := seqFinish == parFinish && seqFinish == specFinish
 	for c := 0; c < sys.NumTSPs() && identical; c++ {
 		identical = seq.Chip(c).Streams() == par.Chip(c).Streams() &&
-			seq.Chip(c).FinishCycle() == par.Chip(c).FinishCycle()
+			seq.Chip(c).Streams() == spec.Chip(c).Streams() &&
+			seq.Chip(c).FinishCycle() == par.Chip(c).FinishCycle() &&
+			seq.Chip(c).FinishCycle() == spec.Chip(c).FinishCycle()
 	}
 	// After 7 rounds of the 8-chip ring, RingAcc is the node sum.
 	sums := make([]float32, sys.NumNodes())
@@ -1215,14 +1248,22 @@ func parExp() error {
 		acc := par.Chip(c).StreamFloats(rtime.RingAcc)
 		reduced = acc[0] == sums[c/topo.TSPsPerNode]
 	}
-	ps := par.ParStats()
+	ps, ss := par.ParStats(), spec.SpecStats()
+	g := goruntime.GOMAXPROCS(0)
 	fmt.Printf("workload: %d-chip ring all-reduce, %d rounds, %d matmuls/round\n",
 		sys.NumTSPs(), rounds, matmuls)
 	fmt.Printf("lookahead floor: %d cycles (one C2C hop), horizon adaptive\n", route.HopCycles)
-	fmt.Printf("sequential:          finish cycle %d   wall %v\n", seqFinish, seqWall)
-	fmt.Printf("parallel (%d worker): finish cycle %d   wall %v\n", workers, parFinish, parWall)
-	fmt.Printf("parallel windows: %d, mean horizon %.0f cycles, barrier time %v\n",
+	fmt.Printf("%-13s %10s %7s %8s %9s %13s %10s %12s\n",
+		"executor", "gomaxprocs", "workers", "windows", "rollbacks", "rollback_rate", "finish", "wall")
+	fmt.Printf("%-13s %10d %7d %8s %9s %13s %10d %12v\n",
+		"sequential", g, 1, "-", "-", "-", seqFinish, seqWall)
+	fmt.Printf("%-13s %10d %7d %8d %9s %13s %10d %12v\n",
+		"conservative", g, workers, ps.Windows, "-", "-", parFinish, parWall)
+	fmt.Printf("%-13s %10d %7d %8d %9d %13.4f %10d %12v\n",
+		"speculative", g, workers, ss.Windows, ss.Rollbacks, rollbackRate(ss), specFinish, specWall)
+	fmt.Printf("conservative windows: %d, mean horizon %.0f cycles, barrier time %v\n",
 		ps.Windows, meanHorizon(ps), time.Duration(ps.BarrierNS))
+	fmt.Printf("speculative wasted cycles (speculated then handed back): %d\n", ss.WastedCycles)
 	fmt.Printf("state byte-identical: %v   all-reduce sums correct: %v\n", identical, reduced)
 	if !identical || !reduced {
 		return fmt.Errorf("par: executor equivalence violated")
@@ -1239,6 +1280,30 @@ func meanHorizon(ps rtime.ParStats) float64 {
 		return 0
 	}
 	return float64(ps.HorizonCycles) / float64(ps.Windows)
+}
+
+// rollbackRate is the fraction of speculative windows in which at least
+// one chip stalled and handed back its speculated remainder.
+func rollbackRate(ss rtime.SpecStats) float64 {
+	if ss.Windows == 0 {
+		return 0
+	}
+	return float64(ss.Rollbacks) / float64(ss.Windows)
+}
+
+// execStats reads the executor's volatile window/speculation bookkeeping
+// back out of the recorder for the profiler. Volatile counters never reach
+// the deterministic state dump, so the profiler receives them out of band.
+func execStats(rec *obs.Recorder) prof.ExecStats {
+	return prof.ExecStats{
+		ParWindows:       rec.VolatileValue("runtime.par.windows"),
+		ParHorizonCycles: rec.VolatileValue("runtime.par.horizon_cycles"),
+		ParWindowChips:   rec.VolatileValue("runtime.par.window_chips"),
+		ParBarrierStalls: rec.VolatileValue("runtime.par.barrier_stalls"),
+		SpecWindows:      rec.VolatileValue("runtime.spec.windows"),
+		SpecRollbacks:    rec.VolatileValue("runtime.spec.rollbacks"),
+		SpecWastedCycles: rec.VolatileValue("runtime.spec.wasted_cycles"),
+	}
 }
 
 // parWindowCollapse is the adaptive-horizon headline: a compute-heavy
@@ -1293,6 +1358,39 @@ func parWindowCollapse(workers int) error {
 		if fixed.Chip(c).Streams() != adaptive.Chip(c).Streams() {
 			return fmt.Errorf("par: chip %d state diverged between fixed and adaptive horizons", c)
 		}
+	}
+
+	// Speculation on top of the adaptive horizon: rollback rate vs window
+	// depth. Deeper windows mean fewer barriers but more speculated cycles
+	// handed back when a Recv's data has not been committed yet.
+	fmt.Println()
+	fmt.Println("speculative windows — rollback rate vs depth (same pipeline)")
+	fmt.Printf("%-6s %10s %7s %8s %9s %13s %10s\n",
+		"depth", "gomaxprocs", "workers", "windows", "rollbacks", "rollback_rate", "finish")
+	g := goruntime.GOMAXPROCS(0)
+	for _, depth := range []int64{1, 2, 4, 8} {
+		cl, err := rtime.New(sys, progs)
+		if err != nil {
+			return err
+		}
+		cl.SetWorkers(workers)
+		cl.SetSpeculate(true)
+		cl.SetSpecDepth(depth)
+		finish, err := cl.RunSpeculative(workers)
+		if err != nil {
+			return err
+		}
+		if finish != adaptiveFinish {
+			return fmt.Errorf("par: speculative depth %d finish %d != adaptive finish %d", depth, finish, adaptiveFinish)
+		}
+		for c := 0; c < sys.NumTSPs(); c++ {
+			if cl.Chip(c).Streams() != adaptive.Chip(c).Streams() {
+				return fmt.Errorf("par: chip %d state diverged under speculation depth %d", c, depth)
+			}
+		}
+		ss := cl.SpecStats()
+		fmt.Printf("%-6d %10d %7d %8d %9d %13.4f %10d\n",
+			depth, g, workers, ss.Windows, ss.Rollbacks, rollbackRate(ss), finish)
 	}
 	return nil
 }

@@ -140,6 +140,51 @@ func TestBadWindowMaxRejected(t *testing.T) {
 	}
 }
 
+// TestBadSpeculateFlagsRejected: a zero or negative speculation depth is
+// a usage error (exit 2 with the usage text), while -speculate with
+// -workers 1 is legal but meaningless — it prints a note and falls back
+// to the sequential executor instead of failing.
+func TestBadSpeculateFlagsRejected(t *testing.T) {
+	muteStdout(t)
+	cases := []struct {
+		name string
+		argv []string
+		want string
+	}{
+		{"zero depth",
+			[]string{"-exp", "fig11", "-speculate", "-workers", "2", "-speculate-depth", "0"},
+			"-speculate-depth must be >= 1"},
+		{"negative depth",
+			[]string{"-exp", "fig11", "-speculate", "-workers", "2", "-speculate-depth", "-3"},
+			"-speculate-depth must be >= 1"},
+	}
+	for _, tc := range cases {
+		var errw bytes.Buffer
+		if code := run(tc.argv, &errw); code != 2 {
+			t.Fatalf("%s: exit code = %d, want 2; stderr:\n%s", tc.name, code, errw.String())
+		}
+		if !strings.Contains(errw.String(), tc.want) {
+			t.Errorf("%s: stderr missing %q:\n%s", tc.name, tc.want, errw.String())
+		}
+		if !strings.Contains(errw.String(), "Usage") && !strings.Contains(errw.String(), "-speculate-depth int") {
+			t.Errorf("%s: stderr missing usage text:\n%s", tc.name, errw.String())
+		}
+	}
+}
+
+// TestSpeculateSingleWorkerFallsBack: -speculate -workers 1 runs the
+// experiment on the sequential path, succeeding with a printed note.
+func TestSpeculateSingleWorkerFallsBack(t *testing.T) {
+	muteStdout(t)
+	var errw bytes.Buffer
+	if code := run([]string{"-exp", "fig11", "-speculate", "-workers", "1"}, &errw); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "falling back to the sequential executor") {
+		t.Errorf("stderr missing the fallback note:\n%s", errw.String())
+	}
+}
+
 // TestProfileReportWithoutSpansFails: -profile-report on an experiment
 // that never builds a cluster has nothing to profile and must say so.
 func TestProfileReportWithoutSpansFails(t *testing.T) {

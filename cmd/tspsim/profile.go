@@ -80,7 +80,7 @@ func ringCrossCheck() error {
 	if err != nil {
 		return err
 	}
-	rep, err := prof.Analyze(rec.State(), prof.Options{})
+	rep, err := prof.Analyze(rec.State(), prof.Options{Exec: execStats(rec)})
 	if err != nil {
 		return err
 	}
@@ -125,7 +125,7 @@ func profileExp() error {
 	if err != nil {
 		return err
 	}
-	rep, err := prof.Analyze(rec.State(), prof.Options{TopLinks: 8, MaxPathSegments: 24})
+	rep, err := prof.Analyze(rec.State(), prof.Options{TopLinks: 8, MaxPathSegments: 24, Exec: execStats(rec)})
 	if err != nil {
 		return err
 	}

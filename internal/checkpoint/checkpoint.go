@@ -152,35 +152,7 @@ func EncodeCluster(s *Snapshot) []byte {
 
 	e.u32(uint32(len(s.Chips)))
 	for ci := range s.Chips {
-		c := &s.Chips[ci]
-		for i := range c.Streams {
-			e.bytes(c.Streams[i][:])
-		}
-		for r := range c.Weights {
-			for j := range c.Weights[r] {
-				e.f32(c.Weights[r][j])
-			}
-		}
-		e.u32(uint32(len(c.Units)))
-		for u := range c.Units {
-			us := &c.Units[u]
-			e.i64(int64(us.PC))
-			e.i64(us.Cursor)
-			e.bool(us.Parked)
-			e.bool(us.Halted)
-			e.i64(us.Busy)
-			e.i64(us.Stall)
-		}
-		e.i64(c.Mem.CorrectedSBEs)
-		e.i64(c.Mem.DetectedMBEs)
-		e.u32(uint32(len(c.Mem.Vectors)))
-		for _, vs := range c.Mem.Vectors {
-			e.i64(int64(vs.Linear))
-			for _, w := range vs.Words {
-				e.u64(w.Data)
-				e.u8(w.Check)
-			}
-		}
+		appendChip(e, &s.Chips[ci])
 	}
 
 	e.u32(uint32(len(s.Mailboxes)))
@@ -216,6 +188,50 @@ func EncodeCluster(s *Snapshot) []byte {
 	for _, id := range s.Repaired {
 		e.i64(int64(id))
 	}
+	return e.b
+}
+
+// appendChip encodes one chip's section: streams, weights, unit cursors,
+// and the raw SECDED memory words.
+func appendChip(e *enc, c *tsp.ChipState) {
+	for i := range c.Streams {
+		e.bytes(c.Streams[i][:])
+	}
+	for r := range c.Weights {
+		for j := range c.Weights[r] {
+			e.f32(c.Weights[r][j])
+		}
+	}
+	e.u32(uint32(len(c.Units)))
+	for u := range c.Units {
+		us := &c.Units[u]
+		e.i64(int64(us.PC))
+		e.i64(us.Cursor)
+		e.bool(us.Parked)
+		e.bool(us.Halted)
+		e.i64(us.Busy)
+		e.i64(us.Stall)
+	}
+	e.i64(c.Mem.CorrectedSBEs)
+	e.i64(c.Mem.DetectedMBEs)
+	e.u32(uint32(len(c.Mem.Vectors)))
+	for _, vs := range c.Mem.Vectors {
+		e.i64(int64(vs.Linear))
+		for _, w := range vs.Words {
+			e.u64(w.Data)
+			e.u8(w.Check)
+		}
+	}
+}
+
+// EncodeChip serializes one chip's state standalone — the same byte layout
+// the cluster section uses, shared so per-chip micro-snapshot comparisons
+// (executor-equivalence tests, the speculative executor's stall-state
+// checks) can compare whole chips byte-for-byte without assembling a full
+// cluster blob.
+func EncodeChip(c *tsp.ChipState) []byte {
+	e := &enc{b: make([]byte, 0, 1<<13)}
+	appendChip(e, c)
 	return e.b
 }
 

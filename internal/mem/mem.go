@@ -108,6 +108,24 @@ type SRAM struct {
 	CorrectedSBEs int64
 	// DetectedMBEs counts uncorrectable errors surfaced on read.
 	DetectedMBEs int64
+	// track arms dirty-page tracking: while on, every mutation records the
+	// vector's linear index in dirty so the next StateDelta can reuse the
+	// previous capture's encoding for untouched vectors. Armed by the first
+	// StateDelta; disarmed by SetState (a wholesale replacement invalidates
+	// any previous capture).
+	track bool
+	dirty map[int]struct{}
+}
+
+// touch records a mutation of the vector at linear index lin while
+// dirty-page tracking is armed. Callers must invoke it for every path that
+// can change a vector's captured ECC words: Write (raw bytes replaced),
+// FlipBit (a word perturbed), and the word-authoritative read path (a
+// scrub rewrites corrected words in place).
+func (m *SRAM) touch(lin int) {
+	if m.track {
+		m.dirty[lin] = struct{}{}
+	}
 }
 
 // NewSRAM returns an empty (all-zero) chip memory.
@@ -130,6 +148,7 @@ func (m *SRAM) Write(addr Addr, data []byte) {
 	}
 	copy(v.raw[:], data)
 	v.words = nil
+	m.touch(lin)
 }
 
 // Read fetches the vector at addr. ok is false when a detected-uncorrectable
@@ -152,7 +171,8 @@ func (m *SRAM) ReadInto(addr Addr, dst []byte) (ok bool) {
 	if len(dst) != VectorBytes {
 		panic(fmt.Sprintf("mem: vector must be %d bytes, got %d", VectorBytes, len(dst)))
 	}
-	v, present := m.vecs[addr.Linear()]
+	lin := addr.Linear()
+	v, present := m.vecs[lin]
 	if !present {
 		for i := range dst {
 			dst[i] = 0
@@ -166,6 +186,9 @@ func (m *SRAM) ReadInto(addr Addr, dst []byte) (ok bool) {
 		copy(dst, v.raw[:])
 		return true
 	}
+	// Word-authoritative read: a scrub may rewrite corrected words in
+	// place, changing what a capture would encode.
+	m.touch(lin)
 	var data [VectorBytes]byte
 	ok = true
 	for w := range v.words {
@@ -202,15 +225,17 @@ func (m *SRAM) FlipBit(addr Addr, bit int) {
 	if bit < 0 || bit >= VectorBytes*8 {
 		panic("mem: bit index out of range")
 	}
-	v, present := m.vecs[addr.Linear()]
+	lin := addr.Linear()
+	v, present := m.vecs[lin]
 	if !present {
 		v = &storedVector{}
-		m.vecs[addr.Linear()] = v
+		m.vecs[lin] = v
 	}
 	if v.words == nil {
 		v.encode()
 	}
 	v.words[bit/64] = ecc.FlipDataBit(v.words[bit/64], bit%64)
+	m.touch(lin)
 }
 
 // VectorsResident reports how many vectors have been materialized.

@@ -29,12 +29,45 @@ type State struct {
 
 // State captures the memory's resident vectors and error tallies.
 func (m *SRAM) State() State {
+	return m.capture(nil)
+}
+
+// StateDelta captures the memory like State, but reuses the previous
+// capture's encoding for every vector that has not been touched since —
+// the SRAM-side half of the micro-snapshot fast path. The first call (or
+// the first after SetState) arms dirty-page tracking and performs a full
+// capture; subsequent calls only re-encode vectors the dirty set names.
+// The returned State is byte-for-byte identical to what State() would
+// produce, so delta-built checkpoints encode to the same blob as
+// full-capture ones.
+func (m *SRAM) StateDelta(prev *State) State {
+	s := m.capture(prev)
+	m.track = true
+	m.dirty = make(map[int]struct{})
+	return s
+}
+
+// capture builds the point-in-time State. When prev is non-nil and
+// tracking is armed, clean-since-prev vectors are copied from prev instead
+// of re-encoded; Encode is pure, so the reused words are bit-identical to
+// a fresh encoding of the unchanged vector.
+func (m *SRAM) capture(prev *State) State {
 	s := State{
 		CorrectedSBEs: m.CorrectedSBEs,
 		DetectedMBEs:  m.DetectedMBEs,
 		Vectors:       make([]VectorState, 0, len(m.vecs)),
 	}
+	usePrev := prev != nil && m.track
 	for lin, v := range m.vecs {
+		if usePrev {
+			if _, touched := m.dirty[lin]; !touched {
+				i := sort.Search(len(prev.Vectors), func(i int) bool { return prev.Vectors[i].Linear >= lin })
+				if i < len(prev.Vectors) && prev.Vectors[i].Linear == lin {
+					s.Vectors = append(s.Vectors, prev.Vectors[i])
+					continue
+				}
+			}
+		}
 		vs := VectorState{Linear: lin}
 		if v.words != nil {
 			vs.Words = *v.words
@@ -52,10 +85,14 @@ func (m *SRAM) State() State {
 	return s
 }
 
-// SetState replaces the memory's contents with a captured state.
+// SetState replaces the memory's contents with a captured state. Any
+// armed dirty-page tracking is reset: a wholesale replacement invalidates
+// the previous capture, so the next StateDelta performs a full capture.
 func (m *SRAM) SetState(s State) {
 	m.CorrectedSBEs = s.CorrectedSBEs
 	m.DetectedMBEs = s.DetectedMBEs
+	m.track = false
+	m.dirty = nil
 	m.vecs = make(map[int]*storedVector, len(s.Vectors))
 	for _, vs := range s.Vectors {
 		// Restored vectors start word-authoritative (the snapshot may

@@ -207,7 +207,12 @@ type Recorder struct {
 	// or series samples, so timing-dependent values (e.g. barrier
 	// nanoseconds) can be collected without breaking byte-identical runs.
 	volatiles map[string]*Counter
-	events    []event
+	// volatileHists are the histogram analogue of volatiles: partition- or
+	// timing-dependent distributions (e.g. window occupancy, which depends
+	// on how the executor cut windows, not on the simulated machine) that
+	// must never leak into deterministic exports.
+	volatileHists map[string]*Histogram
+	events        []event
 	procs     map[int]string
 	threads   map[[2]int]string
 	// series and the sampling cadence live in series.go; the cadence is
@@ -220,13 +225,14 @@ type Recorder struct {
 // New returns an empty recorder.
 func New() *Recorder {
 	return &Recorder{
-		counters:  map[string]*Counter{},
-		gauges:    map[string]*Gauge{},
-		hists:     map[string]*Histogram{},
-		volatiles: map[string]*Counter{},
-		procs:     map[int]string{},
-		threads:   map[[2]int]string{},
-		series:    map[string]*Series{},
+		counters:      map[string]*Counter{},
+		gauges:        map[string]*Gauge{},
+		hists:         map[string]*Histogram{},
+		volatiles:     map[string]*Counter{},
+		volatileHists: map[string]*Histogram{},
+		procs:         map[int]string{},
+		threads:       map[[2]int]string{},
+		series:        map[string]*Series{},
 	}
 }
 
@@ -284,6 +290,39 @@ func (r *Recorder) VolatileValue(name string, labels ...Label) int64 {
 	c := r.volatiles[k]
 	r.mu.Unlock()
 	return c.Value()
+}
+
+// VolatileHistogram returns (creating on first use) a fixed-bin histogram
+// for name+labels that, like VolatileCounter, is excluded from every
+// deterministic export: State, LoadState, WriteMetrics, and SampleSeries
+// all ignore it. Use it for distributions shaped by the host partition
+// (window occupancy, speculation depth) rather than the simulated machine.
+func (r *Recorder) VolatileHistogram(name string, origin, width float64, bins int, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	r.mu.Lock()
+	h, ok := r.volatileHists[k]
+	if !ok {
+		h = &Histogram{h: stats.NewHistogram(origin, width, bins)}
+		r.volatileHists[k] = h
+	}
+	r.mu.Unlock()
+	return h
+}
+
+// VolatileHist reads back a volatile histogram by name (nil when the
+// recorder is nil or the histogram was never created).
+func (r *Recorder) VolatileHist(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	r.mu.Lock()
+	h := r.volatileHists[k]
+	r.mu.Unlock()
+	return h
 }
 
 // Gauge returns (creating on first use) the gauge for name+labels.

@@ -320,3 +320,55 @@ func TestVolatileCounterExcludedFromDeterministicExports(t *testing.T) {
 		t.Fatal("nil recorder volatile counter accumulated")
 	}
 }
+
+// TestVolatileHistogramExcludedFromDeterministicExports mirrors the
+// volatile-counter contract for histograms: the speculative executor's
+// window-occupancy distribution is host-partition telemetry, so it must
+// stay out of State, WriteMetrics, and series sampling while remaining
+// readable in-process.
+func TestVolatileHistogramExcludedFromDeterministicExports(t *testing.T) {
+	r := New()
+	r.Histogram("keep.me", 0, 1, 8).Add(3)
+	h := r.VolatileHistogram("runtime.par.window_occupancy", 0, 1, 8)
+	h.Add(2)
+	h.Add(5)
+	if r.VolatileHistogram("runtime.par.window_occupancy", 0, 1, 8) != h {
+		t.Fatal("second VolatileHistogram resolved a different handle")
+	}
+	if r.VolatileHist("runtime.par.window_occupancy") != h {
+		t.Fatal("VolatileHist read-back missed the registered histogram")
+	}
+	if r.VolatileHist("never.created") != nil {
+		t.Fatal("VolatileHist invented a histogram")
+	}
+
+	st := r.State()
+	if _, ok := st.Hists["runtime.par.window_occupancy"]; ok {
+		t.Fatal("volatile histogram leaked into State")
+	}
+	if _, ok := st.Hists["keep.me"]; !ok {
+		t.Fatal("deterministic histogram missing from State")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("window_occupancy")) {
+		t.Fatal("volatile histogram leaked into WriteMetrics")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("keep.me")) {
+		t.Fatal("deterministic histogram missing from WriteMetrics")
+	}
+
+	r.LoadState(st)
+	if got := r.VolatileHist("runtime.par.window_occupancy"); got != h {
+		t.Fatal("LoadState disturbed the volatile histogram registry")
+	}
+
+	var nr *Recorder
+	nr.VolatileHistogram("x", 0, 1, 4).Add(1) // nil handle, nil-safe Add
+	if nr.VolatileHist("x") != nil {
+		t.Fatal("nil recorder VolatileHist read back a handle")
+	}
+}

@@ -28,6 +28,23 @@ import (
 	"repro/internal/obs"
 )
 
+// ExecStats carries the executor's window bookkeeping into the report.
+// These values are volatile — they describe how the host executor cut
+// windows, not the simulated machine — so they never appear in the
+// obs.State the rest of the report is built from; the caller reads them
+// from runtime.Cluster.ParStats()/SpecStats() and passes them here.
+type ExecStats struct {
+	// Conservative/speculative window machinery (zero = sequential run).
+	ParWindows       int64
+	ParHorizonCycles int64
+	ParWindowChips   int64
+	ParBarrierStalls int64
+	// Speculation (zero = conservative or sequential run).
+	SpecWindows      int64
+	SpecRollbacks    int64
+	SpecWastedCycles int64
+}
+
 // Options tunes report shape; the zero value is a sensible default.
 type Options struct {
 	// TopLinks bounds the link table and heatmap rows (default 8; <0
@@ -38,6 +55,9 @@ type Options struct {
 	// MaxPathSegments bounds the printed critical-path segments (default
 	// 200; the attribution totals always cover the whole path).
 	MaxPathSegments int
+	// Exec is the executor's window/speculation bookkeeping (optional;
+	// zero means the report omits the window and rollback sections).
+	Exec ExecStats
 }
 
 func (o *Options) defaults() {
@@ -116,10 +136,19 @@ type Report struct {
 	// sequential executor): lookahead window count, summed adaptive
 	// horizons (mean horizon = ParHorizonCycles/ParWindows), chip-window
 	// occupancy events, and barriers at which runnable chips stalled.
+	// Copied from Options.Exec — the executor's volatile bookkeeping —
+	// because none of it lives in the deterministic obs.State.
 	ParWindows       int64
 	ParHorizonCycles int64
 	ParWindowChips   int64
 	ParBarrierStalls int64
+
+	// Speculative executor statistics (zero for conservative/sequential
+	// runs): windows run, stall transitions (rollbacks), and speculated
+	// cycles handed back at stalls.
+	SpecWindows      int64
+	SpecRollbacks    int64
+	SpecWastedCycles int64
 
 	opt Options
 }
@@ -187,13 +216,16 @@ func Analyze(st *obs.State, opt Options) (*Report, error) {
 	r.analyzePhases(st)
 	r.analyzePath(spans)
 
-	// Window-parallel executor telemetry is plain unlabeled counters
-	// (deterministic — barrier wall time is volatile and never reaches
-	// the state dump).
-	r.ParWindows = st.Counters["runtime.par.windows"]
-	r.ParHorizonCycles = st.Counters["runtime.par.horizon_cycles"]
-	r.ParWindowChips = st.Counters["runtime.par.window_chips"]
-	r.ParBarrierStalls = st.Counters["runtime.par.barrier_stalls"]
+	// Window-parallel executor telemetry is volatile (it depends on the
+	// host partition, not the simulated machine) and never reaches the
+	// state dump; the caller hands it over via Options.Exec.
+	r.ParWindows = opt.Exec.ParWindows
+	r.ParHorizonCycles = opt.Exec.ParHorizonCycles
+	r.ParWindowChips = opt.Exec.ParWindowChips
+	r.ParBarrierStalls = opt.Exec.ParBarrierStalls
+	r.SpecWindows = opt.Exec.SpecWindows
+	r.SpecRollbacks = opt.Exec.SpecRollbacks
+	r.SpecWastedCycles = opt.Exec.SpecWastedCycles
 	return r, nil
 }
 

@@ -71,6 +71,14 @@ func (r *Report) Render(w io.Writer) error {
 		fmt.Fprintf(&b, "barrier stalls: %d windows left runnable chips waiting\n", r.ParBarrierStalls)
 	}
 
+	if r.SpecWindows > 0 {
+		fmt.Fprintf(&b, "\n-- speculation / rollback --\n")
+		fmt.Fprintf(&b, "speculative windows: %d  rollbacks: %d  rollback rate: %.4f\n",
+			r.SpecWindows, r.SpecRollbacks,
+			float64(r.SpecRollbacks)/float64(r.SpecWindows))
+		fmt.Fprintf(&b, "wasted cycles (speculated then handed back): %d\n", r.SpecWastedCycles)
+	}
+
 	if len(r.Path) > 0 {
 		fmt.Fprintf(&b, "\n-- critical path --\n")
 		fmt.Fprintf(&b, "total %d cycles = compute %d (%s) + link %d (%s) + wait %d (%s)\n",

@@ -31,6 +31,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/tsp"
 )
 
 // checkpointTid is the trace track (on obs.PidFabric) carrying
@@ -149,9 +150,21 @@ func (cl *Cluster) buildSnapshot(t int64) *checkpoint.Snapshot {
 		s.HasRNG = true
 		s.RNGState = cl.errRNG.State()
 	}
-	for _, ch := range cl.chips {
-		s.Chips = append(s.Chips, ch.State())
+	// Chip capture takes the micro-snapshot fast path: each chip's SRAM
+	// tracks dirty vectors between barrier captures, so every capture
+	// after the first re-encodes only what the chip wrote since the last
+	// one. The captured bytes are identical to a full State() walk.
+	if cl.ckptPrev == nil {
+		cl.ckptPrev = make([]tsp.ChipState, len(cl.chips))
+		for i, ch := range cl.chips {
+			cl.ckptPrev[i] = ch.StateWithPrev(nil)
+		}
+	} else {
+		for i, ch := range cl.chips {
+			cl.ckptPrev[i] = ch.StateWithPrev(&cl.ckptPrev[i])
+		}
 	}
+	s.Chips = append(s.Chips, cl.ckptPrev...)
 	for _, mb := range cl.posts {
 		qs := make([][]checkpoint.Envelope, len(mb.queues))
 		for qi := range mb.queues {
@@ -233,6 +246,9 @@ func (cl *Cluster) RestoreSnapshot(s *checkpoint.Snapshot) error {
 	for i := range cl.chips {
 		cl.chips[i].SetState(s.Chips[i])
 	}
+	// SetState reset each SRAM's dirty tracking; drop the stale baselines
+	// so the next capture starts a fresh delta chain with a full walk.
+	cl.ckptPrev = nil
 	for i := range cl.posts {
 		for qi := range cl.posts[i].queues {
 			q := &cl.posts[i].queues[qi]

@@ -57,7 +57,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/topo"
 	"repro/internal/tsp"
@@ -96,22 +95,21 @@ func (cl *Cluster) runParallel(workers int) (int64, error) {
 		workers = 1
 	}
 
-	// Window metrics (nil-safe when no recorder is installed). The values
-	// depend only on the window partition, which is a function of the
-	// programs and the configured horizon cap — not of the worker count or
-	// thread scheduling. barrier_ns is wall time and therefore volatile:
-	// it lives outside the deterministic registry (no State/metrics/series
-	// export) so dumps stay byte-identical across machines and runs.
-	windowsC := cl.rec.Counter("runtime.par.windows")
-	windowChipsC := cl.rec.Counter("runtime.par.window_chips")
-	horizonC := cl.rec.Counter("runtime.par.horizon_cycles")
-	stallsC := cl.rec.Counter("runtime.par.barrier_stalls")
-	stalledC := cl.rec.Counter("runtime.par.barrier_stalled_chips")
-	occH := cl.rec.Histogram("runtime.par.window_occupancy", 0, 1, 65)
+	// Window metrics (nil-safe when no recorder is installed). All of them
+	// describe the host partition — how this executor happened to cut
+	// windows — not the simulated machine, so every one lives in the
+	// volatile registry: excluded from State, metric dumps, series samples,
+	// and checkpoint snapshots. That is what lets the sequential,
+	// conservative, and speculative executors export byte-identical dumps
+	// while still reporting their own window behavior through
+	// ParStats/SpecStats and the volatile read-back API.
+	windowsC := cl.rec.VolatileCounter("runtime.par.windows")
+	windowChipsC := cl.rec.VolatileCounter("runtime.par.window_chips")
+	horizonC := cl.rec.VolatileCounter("runtime.par.horizon_cycles")
+	stallsC := cl.rec.VolatileCounter("runtime.par.barrier_stalls")
+	stalledC := cl.rec.VolatileCounter("runtime.par.barrier_stalled_chips")
+	occH := cl.rec.VolatileHistogram("runtime.par.window_occupancy", 0, 1, 65)
 	barrierNS := cl.rec.VolatileCounter("runtime.par.barrier_ns")
-	if cl.rec != nil {
-		cl.rec.SetThreadName(obs.PidFabric, 1, "parallel windows")
-	}
 	cl.parWindows, cl.parHorizon, cl.parBarrierNS = 0, 0, 0
 
 	if cl.pend == nil {
@@ -128,7 +126,7 @@ func (cl *Cluster) runParallel(workers int) (int64, error) {
 	// window runs inline with no handoff at all.
 	var pool *parPool
 	if n := min(workers, goruntime.GOMAXPROCS(0)) - 1; n > 0 {
-		pool = newParPool(cl, n, nexts, oks)
+		pool = newParPool(cl.stepChip, n, nexts, oks)
 		defer pool.stop()
 	}
 	// On a clean fabric single-threaded delivery commutes with the barrier
@@ -223,9 +221,6 @@ func (cl *Cluster) runParallel(workers int) (int64, error) {
 		}
 		horizonC.Add(wlen)
 		cl.parHorizon += wlen
-		if cl.rec != nil {
-			cl.rec.SpanCycles(obs.PidFabric, 1, "runtime.par.window", t, wlen)
-		}
 
 		// Merge the window's sends in deterministic order, then requeue
 		// the chips that still have work. This serial section is the
@@ -330,7 +325,10 @@ func (cl *Cluster) stepChip(i int, end int64) (int64, bool) {
 // one-chip window never pays a handoff at all (the window loop skips the
 // pool entirely in that case).
 type parPool struct {
-	cl     *Cluster
+	// step advances one chip to the window horizon. The conservative
+	// executor passes Cluster.stepChip; the speculative executor passes a
+	// closure over tsp.StepUntilSpec that also records stall links.
+	step   func(i int, end int64) (int64, bool)
 	nexts  []int64
 	oks    []bool
 	work   chan struct{}
@@ -341,8 +339,8 @@ type parPool struct {
 	cursor atomic.Int64
 }
 
-func newParPool(cl *Cluster, n int, nexts []int64, oks []bool) *parPool {
-	p := &parPool{cl: cl, nexts: nexts, oks: oks,
+func newParPool(step func(int, int64) (int64, bool), n int, nexts []int64, oks []bool) *parPool {
+	p := &parPool{step: step, nexts: nexts, oks: oks,
 		work: make(chan struct{}, n), quit: make(chan struct{})}
 	for k := 0; k < n; k++ {
 		go p.worker()
@@ -373,7 +371,7 @@ func (p *parPool) drain() {
 			return
 		}
 		i := p.active[j]
-		p.nexts[i], p.oks[i] = p.cl.stepChip(i, p.end)
+		p.nexts[i], p.oks[i] = p.step(i, p.end)
 	}
 }
 

@@ -75,6 +75,29 @@ type Cluster struct {
 	parHorizon   int64
 	parBarrierNS int64
 
+	// Speculation (see speculate.go): when speculate is set and workers > 1,
+	// Run routes to the speculative window executor, which extends each
+	// window up to specDepth conservative hops past the sound horizon and
+	// stalls chips at Recvs whose data has not been committed yet.
+	// specStall[i] is the inbound link chip i is stalled on (-1 = running),
+	// persistent across windows; specWindows/specRollbacks/specWasted
+	// accumulate the most recent speculative run's statistics (SpecStats).
+	speculate     bool
+	specDepth     int64
+	specStall     []int
+	specWindows   int64
+	specRollbacks int64
+	specWasted    int64
+
+	// inSrc[dst][j] is the source chip of dst's inbound local link j (-1
+	// when unwired) — the reverse-link index the speculative executor uses
+	// to classify a stalled Recv as satisfiable or doomed.
+	inSrc [][]int
+
+	// c2cs[i] is chip i's fabric adapter, retained so the speculative
+	// executor can hand it to tsp.StepUntilSpec as the RecvPeeker.
+	c2cs []*chipC2C
+
 	// Link error process (§4.5): every delivered vector passes through
 	// the frame FEC; single-bit errors are corrected in situ without
 	// disturbing timing, uncorrectable errors are flagged for software
@@ -122,6 +145,12 @@ type Cluster struct {
 	ckptNext  int64
 	ckptFrom  int64
 	ckpts     []Stored
+	// ckptPrev holds each chip's previous capture, the baseline for the
+	// micro-snapshot fast path (tsp.StateWithPrev): cadence captures after
+	// the first re-encode only the SRAM vectors the chip dirtied since the
+	// last barrier snapshot. Nil until the first capture; invalidated by
+	// RestoreSnapshot (the restored memory resets its dirty tracking).
+	ckptPrev []tsp.ChipState
 
 	// Series sampling (see series.go): snapshot every registered counter
 	// and gauge into obs time series at window barriers every seriesEvery
@@ -162,6 +191,33 @@ func SetDefaultWindowMax(n int64) int64 {
 		n = 0
 	}
 	defaultWindowMax = n
+	return prev
+}
+
+// defaultSpeculate is the speculation toggle new clusters start with.
+// Like defaultWorkers it is read at construction time only.
+var defaultSpeculate = false
+
+// SetDefaultSpeculate sets the speculation toggle future New calls
+// capture. Returns the previous value.
+func SetDefaultSpeculate(on bool) bool {
+	prev := defaultSpeculate
+	defaultSpeculate = on
+	return prev
+}
+
+// defaultSpecDepth is the speculation depth (in conservative one-hop
+// windows past the sound horizon) new clusters start with.
+var defaultSpecDepth = int64(4)
+
+// SetDefaultSpecDepth sets the speculation depth future New calls
+// capture. n < 1 is treated as 1. Returns the previous value.
+func SetDefaultSpecDepth(n int64) int64 {
+	prev := defaultSpecDepth
+	if n < 1 {
+		n = 1
+	}
+	defaultSpecDepth = n
 	return prev
 }
 
@@ -251,13 +307,22 @@ func (c *chipC2C) Recv(link int, cycle int64, dst *tsp.Vector) bool {
 	return c.cl.take(c.id, link, cycle, dst)
 }
 
+// CanRecv implements tsp.RecvPeeker: report, with no side effects, whether
+// a Recv on the link at the cycle would succeed against committed state.
+func (c *chipC2C) CanRecv(link int, cycle int64) bool {
+	return c.cl.peek(c.id, link, cycle)
+}
+
 // New builds a cluster executing programs[t] on TSP t. Programs may be nil
 // for idle chips.
 func New(sys *topo.System, programs []*isa.Program) (*Cluster, error) {
 	if len(programs) > sys.NumTSPs() {
 		return nil, fmt.Errorf("runtime: %d programs for %d TSPs", len(programs), sys.NumTSPs())
 	}
-	cl := &Cluster{sys: sys, workers: defaultWorkers, windowMax: defaultWindowMax, firstMBECycle: -1}
+	cl := &Cluster{
+		sys: sys, workers: defaultWorkers, windowMax: defaultWindowMax,
+		speculate: defaultSpeculate, specDepth: defaultSpecDepth, firstMBECycle: -1,
+	}
 	if rec := obs.Get(); rec != nil {
 		cl.rec = rec
 		cl.vectors = rec.Counter("runtime.vectors_delivered")
@@ -278,8 +343,10 @@ func New(sys *topo.System, programs []*isa.Program) (*Cluster, error) {
 		} else {
 			prog = &isa.Program{}
 		}
-		chip := tsp.New(t, prog, &chipC2C{cl: cl, id: topo.TSPID(t)})
+		adapter := &chipC2C{cl: cl, id: topo.TSPID(t)}
+		chip := tsp.New(t, prog, adapter)
 		cl.chips = append(cl.chips, chip)
+		cl.c2cs = append(cl.c2cs, adapter)
 		mb := &mailbox{queues: make([]linkQueue, len(sys.Out(topo.TSPID(t))))}
 		for i := range mb.queues {
 			// Seed each queue with room for a handful of in-flight vectors
@@ -306,6 +373,19 @@ func New(sys *topo.System, programs []*isa.Program) (*Cluster, error) {
 		if cl.peerIdx[l.ID] < 0 {
 			panic(fmt.Sprintf("runtime: link %d: reverse link %d missing from chip %d adjacency", l.ID, l.Reverse, l.To))
 		}
+	}
+	// Reverse-link index: the source chip behind each inbound local link,
+	// so a stalled Recv can be classified by its sender's send bound.
+	cl.inSrc = make([][]int, sys.NumTSPs())
+	for t := 0; t < sys.NumTSPs(); t++ {
+		cl.inSrc[t] = make([]int, len(cl.posts[t].queues))
+		for j := range cl.inSrc[t] {
+			cl.inSrc[t][j] = -1
+		}
+	}
+	for i := range links {
+		l := links[i]
+		cl.inSrc[l.To][cl.peerIdx[l.ID]] = int(l.From)
 	}
 	// Pre-resolve each chip's outbound routes to destination queue
 	// pointers (stable: the queues slices are fixed-size after this loop).
@@ -352,6 +432,28 @@ func (cl *Cluster) SetWindowMax(n int64) {
 // WindowMax reports the configured adaptive-horizon cap (0 = uncapped).
 func (cl *Cluster) WindowMax() int64 { return cl.windowMax }
 
+// SetSpeculate toggles the speculative window executor for this cluster.
+// It only takes effect with workers > 1; speculation at one worker is the
+// sequential schedule by definition. Every simulated observable is
+// byte-identical with it on or off — speculation changes wall-clock
+// behavior and the volatile runtime.spec.* telemetry only.
+func (cl *Cluster) SetSpeculate(on bool) { cl.speculate = on }
+
+// Speculate reports whether the speculative executor is enabled.
+func (cl *Cluster) Speculate() bool { return cl.speculate }
+
+// SetSpecDepth sets how many conservative one-hop windows past the sound
+// horizon a speculative window may extend (n < 1 is treated as 1).
+func (cl *Cluster) SetSpecDepth(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	cl.specDepth = n
+}
+
+// SpecDepth reports the configured speculation depth.
+func (cl *Cluster) SpecDepth() int64 { return cl.specDepth }
+
 // ParStats summarizes the most recent window-parallel run: how many
 // lookahead windows it took, the summed window horizons (so mean horizon
 // = HorizonCycles/Windows), and the wall-clock nanoseconds spent in the
@@ -367,6 +469,24 @@ type ParStats struct {
 // (zeroes if only the sequential executor has run).
 func (cl *Cluster) ParStats() ParStats {
 	return ParStats{Windows: cl.parWindows, HorizonCycles: cl.parHorizon, BarrierNS: cl.parBarrierNS}
+}
+
+// SpecStats summarizes the most recent speculative run: how many windows
+// ran, how many chip-stall transitions ("rollbacks" — a chip hit a Recv
+// whose data was not committed yet and gave back the rest of its window),
+// and the summed cycles those stalled chips handed back. All three depend
+// on the host partition (worker count, window cuts), so they are recorded
+// only in the volatile registry and here — never in deterministic exports.
+type SpecStats struct {
+	Windows      int64
+	Rollbacks    int64
+	WastedCycles int64
+}
+
+// SpecStats reports the most recent RunSpeculative's statistics (zeroes
+// if the speculative executor has not run).
+func (cl *Cluster) SpecStats() SpecStats {
+	return SpecStats{Windows: cl.specWindows, Rollbacks: cl.specRollbacks, WastedCycles: cl.specWasted}
 }
 
 // Chip returns TSP t's chip model (for loading data and reading results).
@@ -487,6 +607,18 @@ func (cl *Cluster) take(dst topo.TSPID, link int, cycle int64, dstVec *tsp.Vecto
 	return true
 }
 
+// peek is take's side-effect-free twin: the identical availability
+// predicate with no pop and, critically, no underflow tally — a
+// speculative miss is "not committed yet", not a schedule lie.
+func (cl *Cluster) peek(dst topo.TSPID, link int, cycle int64) bool {
+	mb := cl.posts[dst]
+	if link < 0 || link >= len(mb.queues) {
+		return false
+	}
+	q := &mb.queues[link]
+	return q.len() > 0 && q.front().arrival <= cycle
+}
+
 // chipHeap is a value-typed binary min-heap of runnable chips keyed by
 // (next-issue cycle, chip index). The strict total order makes the pop
 // sequence identical to the old linear min-scan (which broke ties toward
@@ -573,6 +705,9 @@ func (cl *Cluster) Run() (int64, error) {
 	// Likewise an armed series cadence: samples happen only at window
 	// barriers, so the sampled values are worker-invariant by construction.
 	if cl.ckptEvery > 0 || cl.seriesEvery > 0 {
+		if cl.speculate && cl.workers > 1 {
+			return cl.RunSpeculative(cl.workers)
+		}
 		return cl.RunParallel(cl.workers)
 	}
 	if cl.workers > 1 {
@@ -587,6 +722,9 @@ func (cl *Cluster) Run() (int64, error) {
 		// callers that explicitly want the window machinery.
 		if min(cl.workers, goruntime.GOMAXPROCS(0)) > 1 ||
 			cl.rec != nil || cl.fplan != nil || cl.ber != 0 {
+			if cl.speculate {
+				return cl.RunSpeculative(cl.workers)
+			}
 			return cl.RunParallel(cl.workers)
 		}
 	}

@@ -38,7 +38,32 @@ func (c *Chip) State() ChipState {
 	if c.fault != nil {
 		panic("tsp: State() on a faulted chip")
 	}
-	s := ChipState{Weights: c.Weights, Mem: c.Mem.State()}
+	return c.capture(c.Mem.State())
+}
+
+// StateWithPrev captures the chip like State, but takes the micro-snapshot
+// fast path: the SRAM's dirty-page tracking reuses prev's encoding for
+// every vector untouched since the previous capture (mem.StateDelta), so
+// steady-cadence captures pay only for the memory the chip actually wrote
+// since last time. prev must be the immediately preceding StateWithPrev
+// capture of this same chip (or nil to start a delta chain with a full
+// capture) — each call resets the dirty baseline, which is also why the
+// read-only State() above never routes through here. The result is
+// byte-identical to a full State() capture.
+func (c *Chip) StateWithPrev(prev *ChipState) ChipState {
+	if c.fault != nil {
+		panic("tsp: State() on a faulted chip")
+	}
+	var pm *mem.State
+	if prev != nil {
+		pm = &prev.Mem
+	}
+	return c.capture(c.Mem.StateDelta(pm))
+}
+
+// capture assembles the chip-side state around an already-captured memory.
+func (c *Chip) capture(ms mem.State) ChipState {
+	s := ChipState{Weights: c.Weights, Mem: ms}
 	for i := range s.Streams {
 		// Materialize lane-cached registers so the snapshot carries the
 		// architectural bytes — the determinism boundary.
